@@ -1,0 +1,125 @@
+"""Ablations of the design choices the paper calls out.
+
+* the single-cell fast path (§4.2.2 "Single cell packet sends are
+  optimized in the firmware"),
+* polling vs UNIX-signal receive (§4.2.3: signals add ~30 us per end),
+* the UAM window size (§5.1.1),
+* TCP segment size (§7.8: 2048-byte segments are the standard config),
+* delayed acks on/off (§7.8: U-Net TCP disables the 200 ms delay),
+* kernel-emulated vs regular endpoints (§3.5).
+"""
+
+from repro.bench import Table, raw_rtt
+from repro.bench.ip import tcp_bandwidth, tcp_rtt
+from repro.bench.uam import uam_store_bandwidth
+from repro.core import UNetCluster
+from repro.sim import Simulator
+
+
+def delayed_ack_latency(delayed_ack: bool, granularity_us: float = 1000.0) -> float:
+    """Time until a lone request segment is acknowledged while the server
+    application has not yet read it.
+
+    * delayed ack off (U-Net TCP, §7.8): one round trip (~0.4 ms).
+    * delayed ack on + 1 ms timers: the sender's retransmission beats
+      the 200 ms delack timer -- a wasted retransmission and ~3 ms.
+    * delayed ack on + BSD 500 ms timers: the 200 ms delack timer is
+      what finally acknowledges (the kernel combination).
+    """
+    from repro.bench.ip import build_unet_pair
+    from repro.ip.tcp import TcpConfig
+
+    sim, _net, stack_a, stack_b = build_unet_pair()
+    config = TcpConfig(
+        delayed_ack=delayed_ack, timer_granularity_us=granularity_us
+    )
+    server = stack_b.tcp_listen(9000, peer_addr=1, config=config)
+    out = {}
+
+    def client():
+        conn = yield from stack_a.tcp_connect(2, 9000, config=config)
+        t0 = sim.now
+        yield from conn.send(bytes(2048))
+        while conn._sndq_bytes or conn.snd_una != conn.snd_nxt:
+            yield sim.timeout(100.0)
+        out["acked"] = sim.now - t0
+
+    sim.process(client())
+    sim.run(until=sim.now + 1e7)
+    return out["acked"]
+
+
+def emulated_vs_regular_rtt():
+    out = {}
+    for emulated in (False, True):
+        sim = Simulator()
+        cluster = UNetCluster.pair(sim)
+        sa = cluster.open_session("alice", "pa", emulated=emulated)
+        sb = cluster.open_session("bob", "pb", emulated=emulated)
+        ch_a, ch_b = cluster.connect_sessions(sa, sb)
+        result = {}
+
+        def pinger():
+            yield from sa.provide_receive_buffers(4)
+            t0 = sim.now
+            yield from sa.send_copy(ch_a.ident, bytes(32))
+            yield from sa.recv()
+            result["rtt"] = sim.now - t0
+
+        def ponger():
+            yield from sb.provide_receive_buffers(4)
+            desc = yield from sb.recv()
+            yield from sb.send_copy(ch_b.ident, sb.peek_payload(desc))
+
+        sim.process(pinger())
+        sim.process(ponger())
+        sim.run(until=1e7)
+        out["emulated" if emulated else "regular"] = result["rtt"]
+    return out
+
+
+def run_all():
+    results = {}
+    results["single-cell fast path on"] = raw_rtt(32, n=4).mean_us
+    results["single-cell fast path off"] = raw_rtt(
+        32, n=4, single_cell_optimization=False
+    ).mean_us
+    results["polling receive"] = raw_rtt(32, n=4).mean_us
+    results["signal receive"] = raw_rtt(32, n=4, signal_wakeup=True).mean_us
+    for window in (2, 4, 8, 16):
+        results[f"UAM store bw, window {window}"] = (
+            uam_store_bandwidth(2048, window=window).bytes_per_second / 1e6
+        )
+    for mss in (512, 1024, 2048, 4096):
+        results[f"U-Net TCP bw, {mss}B segments"] = (
+            tcp_bandwidth(4096, kind="unet", window=16384, mss=mss,
+                          total_bytes=200_000).bytes_per_second / 1e6
+        )
+    results["TCP ack latency, delack off (U-Net)"] = delayed_ack_latency(False)
+    results["TCP ack latency, delack on, 1ms timers"] = delayed_ack_latency(True)
+    results["TCP ack latency, delack on, 500ms timers"] = delayed_ack_latency(
+        True, granularity_us=500_000.0
+    )
+    results.update(
+        {f"{k} endpoint rtt": v for k, v in emulated_vs_regular_rtt().items()}
+    )
+    return results
+
+
+def test_ablations(once):
+    results = once(run_all)
+    table = Table("Design-choice ablations", ["Configuration", "Result"])
+    for name, value in results.items():
+        unit = "MB/s" if "bw" in name else "us"
+        table.add_row(name, f"{value:8.1f} {unit}")
+    print()
+    print(table)
+    assert results["single-cell fast path off"] > results["single-cell fast path on"] + 25
+    assert results["signal receive"] - results["polling receive"] == \
+        __import__("pytest").approx(60.0, abs=8.0)
+    assert results["UAM store bw, window 8"] > results["UAM store bw, window 2"]
+    assert results["U-Net TCP bw, 2048B segments"] > results["U-Net TCP bw, 512B segments"]
+    assert results["TCP ack latency, delack on, 1ms timers"] > \
+        3 * results["TCP ack latency, delack off (U-Net)"]
+    assert results["TCP ack latency, delack on, 500ms timers"] > 150_000
+    assert results["emulated endpoint rtt"] > results["regular endpoint rtt"] + 30

@@ -1,0 +1,45 @@
+"""Figure 6: kernel TCP and UDP round-trip latencies over ATM vs
+Ethernet.
+
+Paper shape: "for small messages the latency of both UDP and TCP
+messages is larger using ATM than going over Ethernet: it simply does
+not reflect the increased network performance"; for large messages the
+140 Mbit fiber eventually beats 10 Mbit Ethernet.
+"""
+
+from repro.bench import Series
+from repro.bench.ip import tcp_rtt, udp_rtt
+from repro.bench.report import print_figure
+
+SIZES = [16, 64, 256, 1024, 2048, 4096, 8000]
+
+
+def sweep():
+    curves = []
+    for proto, fn in (("UDP", udp_rtt), ("TCP", tcp_rtt)):
+        for kind, net in (("kernel-atm", "Fore ATM"), ("kernel-eth", "Ethernet")):
+            series = Series(f"kernel {proto} / {net}")
+            for size in SIZES:
+                if proto == "TCP" and size > 4096 and kind == "kernel-eth":
+                    continue  # keep the sweep quick; shape is established
+                series.add(size, fn(size, kind=kind, n=3).mean_us)
+            curves.append(series)
+    return curves
+
+
+def test_fig6_kernel_latency(once):
+    curves = once(sweep)
+    print()
+    print(print_figure(
+        "Figure 6: kernel TCP/UDP round-trip latency over ATM and Ethernet",
+        curves, x_name="message bytes", y_name="round trip (us)",
+    ))
+    print("  paper shape: ATM worse than Ethernet for small messages, "
+          "better for large")
+    udp_atm = next(c for c in curves if c.label == "kernel UDP / Fore ATM")
+    udp_eth = next(c for c in curves if c.label == "kernel UDP / Ethernet")
+    tcp_atm = next(c for c in curves if c.label == "kernel TCP / Fore ATM")
+    tcp_eth = next(c for c in curves if c.label == "kernel TCP / Ethernet")
+    assert udp_atm.y_at(64) > udp_eth.y_at(64)
+    assert tcp_atm.y_at(64) > tcp_eth.y_at(64)
+    assert udp_atm.y_at(8000) < udp_eth.y_at(8000)

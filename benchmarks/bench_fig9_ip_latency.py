@@ -1,0 +1,43 @@
+"""Figure 9: UDP and TCP round-trip latencies -- U-Net vs kernel.
+
+Paper: U-Net UDP ~138 us and TCP ~157 us for small messages (Table 3),
+an order of magnitude below the kernel stack over the same fiber.
+"""
+
+from repro.bench import Series
+from repro.bench.ip import tcp_rtt, udp_rtt
+from repro.bench.report import print_figure
+
+SIZES = [8, 64, 256, 1024, 4096]
+
+
+def sweep():
+    curves = []
+    for label, fn, kind in (
+        ("U-Net UDP", udp_rtt, "unet"),
+        ("U-Net TCP", tcp_rtt, "unet"),
+        ("kernel UDP", udp_rtt, "kernel-atm"),
+        ("kernel TCP", tcp_rtt, "kernel-atm"),
+    ):
+        series = Series(label)
+        for size in SIZES:
+            series.add(size, fn(size, kind=kind, n=3).mean_us)
+        curves.append(series)
+    return curves
+
+
+def test_fig9_ip_latency(once):
+    curves = once(sweep)
+    print()
+    print(print_figure(
+        "Figure 9: UDP and TCP round-trip latencies (us)",
+        curves, x_name="message bytes", y_name="round trip (us)",
+    ))
+    print("  paper anchors: U-Net UDP 138 us / TCP 157 us small messages; "
+          "kernel near a millisecond")
+    unet_udp = next(c for c in curves if c.label == "U-Net UDP")
+    unet_tcp = next(c for c in curves if c.label == "U-Net TCP")
+    kern_udp = next(c for c in curves if c.label == "kernel UDP")
+    assert 110 < unet_udp.y_at(64) < 170
+    assert unet_udp.y_at(64) < unet_tcp.y_at(64) < unet_udp.y_at(64) + 80
+    assert kern_udp.y_at(64) / unet_udp.y_at(64) > 7

@@ -1,0 +1,25 @@
+"""§4.2.1: the vendor's original SBA-200 firmware baseline.
+
+Paper: ~160 us round trip; ~13 MB/s with 4 KB packets -- worse than
+the far simpler SBA-100, which motivated rewriting the firmware.
+"""
+
+from repro.bench import Table, fore_interface_stats, raw_rtt
+
+
+def test_fore_firmware_baseline(once):
+    r = once(fore_interface_stats)
+    unet = raw_rtt(32, n=4).mean_us
+    table = Table(
+        "Fore firmware baseline (§4.2.1)",
+        ["Metric", "Paper", "Measured"],
+    )
+    table.add_row("round-trip time", "~160 us", f"{r['rtt_us']:.1f} us")
+    table.add_row(
+        "bandwidth @ 4 KB", "13 MB/s", f"{r['bw_4k_bytes_per_s'] / 1e6:.1f} MB/s"
+    )
+    table.add_row("U-Net firmware RTT (same board)", "65 us", f"{unet:.1f} us")
+    table.add_note("off-loading onto the 25 MHz i960 'can easily backfire'")
+    print()
+    print(table)
+    assert r["rtt_us"] > 2 * unet

@@ -1,0 +1,36 @@
+"""Table 2: machine characteristics, with the U-Net ATM row re-measured
+from the simulated stack (overhead, round trip, bandwidth)."""
+
+from repro.bench import Table, raw_bandwidth
+from repro.bench.uam import uam_single_cell_rtt, uam_store_bandwidth
+from repro.splitc.machines import ALL_MACHINES, ATM_CLUSTER
+
+
+def measure_atm_row():
+    rtt = uam_single_cell_rtt(32, n=4).mean_us
+    bw = uam_store_bandwidth(4096).bytes_per_second
+    return {"round_trip_us": rtt, "bandwidth_bps": bw}
+
+
+def test_table2_machine_comparison(once):
+    measured = once(measure_atm_row)
+    table = Table(
+        "Table 2: computation and communication characteristics",
+        ["Machine", "CPU", "overhead", "round-trip", "bandwidth"],
+    )
+    cpus = {"CM-5": "33 MHz Sparc-2", "Meiko CS-2": "40 MHz SuperSparc",
+            "U-Net ATM": "50/60 MHz SuperSparc"}
+    for m in ALL_MACHINES:
+        table.add_row(
+            m.name, cpus[m.name], f"{m.overhead_us:.0f} us",
+            f"{m.round_trip_us:.0f} us", f"{m.bandwidth_bps / 1e6:.0f} MB/s",
+        )
+    table.add_note(
+        f"ATM row re-measured from the simulated stack: round trip "
+        f"{measured['round_trip_us']:.1f} us (table: 71), bandwidth "
+        f"{measured['bandwidth_bps'] / 1e6:.1f} MB/s (table: 14)"
+    )
+    print()
+    print(table)
+    assert abs(measured["round_trip_us"] - ATM_CLUSTER.round_trip_us) < 8.0
+    assert abs(measured["bandwidth_bps"] - ATM_CLUSTER.bandwidth_bps) < 2.5e6

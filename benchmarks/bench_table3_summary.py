@@ -1,0 +1,71 @@
+"""Table 3: U-Net latency and bandwidth summary.
+
+| Protocol      | round trip | bandwidth @ 4 KB |
+|---------------|-----------|------------------|
+| Raw AAL5      | 65 us     | 120 Mbit/s       |
+| Active Msgs   | 71 us     | 118 Mbit/s       |
+| UDP           | 138 us    | 120 Mbit/s       |
+| TCP           | 157 us    | 115 Mbit/s       |
+| Split-C store | 72 us     | 118 Mbit/s       |
+"""
+
+from repro.bench import Table, raw_bandwidth, raw_rtt
+from repro.bench.ip import tcp_bandwidth, tcp_rtt, udp_bandwidth, udp_rtt
+from repro.bench.uam import uam_single_cell_rtt, uam_store_bandwidth
+
+PAPER = {
+    "Raw AAL5": (65, 120),
+    "Active Messages": (71, 118),
+    "UDP": (138, 120),
+    "TCP": (157, 115),
+    "Split-C store": (72, 118),
+}
+
+
+def measure():
+    rows = {}
+    rows["Raw AAL5"] = (
+        raw_rtt(32, n=4).mean_us,
+        raw_bandwidth(4096).bytes_per_second * 8 / 1e6,
+    )
+    rows["Active Messages"] = (
+        uam_single_cell_rtt(32, n=4).mean_us,
+        uam_store_bandwidth(4096).bytes_per_second * 8 / 1e6,
+    )
+    rows["UDP"] = (
+        udp_rtt(64, kind="unet", n=4).mean_us,
+        udp_bandwidth(4096, kind="unet").recv_rate * 8 / 1e6,
+    )
+    rows["TCP"] = (
+        tcp_rtt(8, kind="unet", n=4).mean_us,
+        tcp_bandwidth(4096, kind="unet", window=8192).bytes_per_second * 8 / 1e6,
+    )
+    # Split-C store = a UAM store round trip at the runtime's message cost
+    rows["Split-C store"] = (
+        uam_single_cell_rtt(31, n=4).mean_us,
+        uam_store_bandwidth(4096).bytes_per_second * 8 / 1e6,
+    )
+    return rows
+
+
+def test_table3_summary(once):
+    rows = once(measure)
+    table = Table(
+        "Table 3: U-Net latency and bandwidth summary",
+        ["Protocol", "RTT paper", "RTT measured", "BW paper", "BW measured"],
+    )
+    for name, (rtt_p, bw_p) in PAPER.items():
+        rtt_m, bw_m = rows[name]
+        table.add_row(
+            name, f"{rtt_p} us", f"{rtt_m:.0f} us",
+            f"{bw_p} Mbit/s", f"{bw_m:.0f} Mbit/s",
+        )
+    table.add_note("UDP/TCP round trips measured at small (64/8 byte) payloads")
+    print()
+    print(table)
+    # ordering and rough magnitudes must match the paper
+    assert rows["Raw AAL5"][0] < rows["Active Messages"][0] < rows["UDP"][0] < rows["TCP"][0]
+    for name, (rtt_p, bw_p) in PAPER.items():
+        rtt_m, bw_m = rows[name]
+        assert abs(rtt_m - rtt_p) / rtt_p < 0.20, f"{name} RTT off: {rtt_m}"
+        assert bw_m > 100, f"{name} bandwidth below ~100 Mbit/s: {bw_m}"

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Split-C parallel sorting across machine models (§6 / Figure 5).
+
+Runs the sample sort -- both the small-message and the bulk-transfer
+variant -- on 8-node models of the CM-5, the U-Net ATM cluster, and the
+Meiko CS-2, then validates the ATM model against the *full* simulated
+U-Net stack.
+
+Run:  python examples/splitc_parallel_sort.py
+"""
+
+from repro.splitc.apps import sample_sort
+from repro.splitc.harness import run_on_machine, run_on_unet_cluster
+from repro.splitc.machines import ATM_CLUSTER, CM5, MEIKO_CS2
+
+N = 2048  # keys per processor
+
+
+def main():
+    for bulk in (False, True):
+        variant = "bulk transfers" if bulk else "small messages"
+        print(f"sample sort, {variant} (8 procs x {N} keys):")
+        base = None
+        for machine in (CM5, ATM_CLUSTER, MEIKO_CS2):
+            r = run_on_machine(
+                machine, sample_sort, nprocs=8, n_per_proc=N, bulk=bulk
+            )
+            assert r.verified, "sort produced wrong output!"
+            base = base or r.total_us
+            print(f"  {machine.name:12s} {r.total_us / 1e3:8.2f} ms "
+                  f"(x{r.total_us / base:4.2f} of CM-5)   "
+                  f"comm {r.comm_fraction:4.0%}")
+        print()
+
+    print("validating the ATM model against the full U-Net stack "
+          "(4 procs, real AAL5 cells on a simulated switch)...")
+    full = run_on_unet_cluster(sample_sort, nprocs=4, n_per_proc=512, bulk=True)
+    model = run_on_machine(
+        ATM_CLUSTER, sample_sort, nprocs=4, n_per_proc=512, bulk=True
+    )
+    print(f"  full stack {full.total_us / 1e3:.2f} ms vs model "
+          f"{model.total_us / 1e3:.2f} ms -- both verified: "
+          f"{full.verified and model.verified}")
+
+
+if __name__ == "__main__":
+    main()

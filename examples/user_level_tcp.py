@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""User-level TCP over U-Net vs the SunOS kernel stack (§7).
+
+Transfers 1 MB over both stacks and runs a small request/response
+exchange, printing the Figure 8/9 story: the user-level stack reaches
+the fiber rate with an 8 KB window while the kernel path crawls.
+
+Run:  python examples/user_level_tcp.py
+"""
+
+from repro.bench.ip import build_kernel_atm_pair, build_unet_pair
+from repro.ip.tcp import TcpConfig
+
+TOTAL = 1_000_000
+
+
+def transfer(kind):
+    if kind == "unet":
+        sim, net, stack_a, stack_b = build_unet_pair()
+        config = TcpConfig(window=8192)  # §7.7: 8 KB is enough
+    else:
+        sim, net, stack_a, stack_b = build_kernel_atm_pair()
+        config = stack_b.tcp_config(window=52 * 1024)
+    server = stack_b.tcp_listen(9000, peer_addr=1, config=config)
+    data = bytes(i % 256 for i in range(TOTAL))
+    out = {}
+
+    def client():
+        conn = yield from stack_a.tcp_connect(2, 9000, config=config)
+        out["t0"] = sim.now
+        yield from conn.send(data)
+
+    def srv():
+        yield from server.wait_established()
+        buf = bytearray()
+        while len(buf) < TOTAL:
+            chunk = yield from server.recv(1 << 20)
+            buf.extend(chunk)
+        out["t1"] = sim.now
+        out["ok"] = bytes(buf) == data
+
+    sim.process(client())
+    sim.process(srv())
+    sim.run(until=1e10)
+    seconds = (out["t1"] - out["t0"]) / 1e6
+    return TOTAL / seconds / 1e6, out["ok"], config.window
+
+
+def main():
+    for kind, label in (("unet", "U-Net TCP (user level)"),
+                        ("kernel-atm", "kernel TCP (SunOS + Fore driver)")):
+        rate, ok, window = transfer(kind)
+        print(f"{label:34s} window {window // 1024:2d} KB: "
+              f"{rate:5.2f} MB/s ({rate * 8:5.1f} Mbit/s)  "
+              f"integrity {'OK' if ok else 'FAIL'}")
+    print("\npaper: U-Net TCP 14-15 MB/s with 8 KB windows; kernel TCP "
+          "9-10 MB/s even with 64 KB (Figure 8)")
+
+
+if __name__ == "__main__":
+    main()

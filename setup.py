@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (offline),
+where PEP 517 editable installs cannot build. `pip install -e . --no-use-pep517`
+falls back to this file. Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""U-Net Active Messages (§5): a GAM 1.1-style layer over raw U-Net.
+
+Communication is by requests and matching replies: each message names a
+*handler* that is dispatched at the receiver to pull the message out of
+the network.  The library adds exactly what the paper says it adds --
+"the flow-control and retransmissions necessary to implement reliable
+delivery and the Active Messages-specific handler dispatch":
+
+* window-based flow control with a fixed window ``w`` and 4w
+  preallocated transmit/receive buffers per channel (§5.1.1),
+* explicit acknowledgments for requests that do not generate replies,
+  and a go-back-N retransmission scheme,
+* bulk ``store``/``get`` transfers fragmented into 4160-byte buffers
+  (the §5.2 dip at 4164 bytes falls out of this constant),
+* the reply-may-not-reply rule that prevents live-lock.
+"""
+
+from repro.am.gam import UAM, UamConfig, UamError
+from repro.am.wire import MSG_ACK, MSG_GET, MSG_REPLY, MSG_REQUEST, MSG_XFER
+
+__all__ = [
+    "MSG_ACK",
+    "MSG_GET",
+    "MSG_REPLY",
+    "MSG_REQUEST",
+    "MSG_XFER",
+    "UAM",
+    "UamConfig",
+    "UamError",
+]

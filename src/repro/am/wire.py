@@ -1,0 +1,100 @@
+"""UAM wire formats.
+
+Every UAM message starts with a 4-byte header::
+
+    type(1) | seq(1) | ack(1) | handler(1)
+
+``seq`` numbers data-class messages modulo 256; ``ack`` cumulatively
+acknowledges the peer's stream on *every* message (piggybacking);
+``handler`` indexes the receiver's handler table.
+
+A request/reply with up to 36 bytes of payload fits a single ATM cell
+(40-byte single-cell limit minus the 4-byte header), which is how the
+paper's "single cell request message with 0 to 32 bytes of data"
+travels.
+
+Bulk transfers add an 12-byte sub-header: base address (4), chunk
+offset (4), total length (4).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+HEADER = struct.Struct(">BBBB")
+XFER_HEADER = struct.Struct(">III")
+
+MSG_REQUEST = 1  # request, may generate a reply
+MSG_REPLY = 2  # reply to a request; may not generate another reply
+MSG_ACK = 3  # explicit cumulative acknowledgment (not sequenced)
+MSG_XFER = 4  # bulk store chunk (request class)
+MSG_GET = 5  # bulk get request (request class)
+MSG_XFER_REPLY = 6  # bulk get data chunk (reply class)
+
+DATA_TYPES = frozenset({MSG_REQUEST, MSG_REPLY, MSG_XFER, MSG_GET, MSG_XFER_REPLY})
+REPLY_CLASS = frozenset({MSG_REPLY, MSG_XFER_REPLY})
+
+#: Largest request/reply payload that still fits one ATM cell.
+SMALL_PAYLOAD_MAX = 40 - HEADER.size
+#: Bulk-transfer fragment size: "UAM uses buffers holding 4160 bytes of
+#: data" (§5.2) -- the buffer holds header + sub-header + chunk.
+XFER_BUFFER = 4160
+XFER_CHUNK = XFER_BUFFER - HEADER.size - XFER_HEADER.size
+
+
+@dataclass
+class Message:
+    """A decoded UAM message."""
+
+    type: int
+    seq: int
+    ack: int
+    handler: int
+    payload: bytes
+    # decoded bulk sub-header, present for MSG_XFER/MSG_GET/MSG_XFER_REPLY
+    base: int = 0
+    offset: int = 0
+    total: int = 0
+
+    @property
+    def is_data(self) -> bool:
+        return self.type in DATA_TYPES
+
+
+def encode(
+    msg_type: int,
+    seq: int,
+    ack: int,
+    handler: int,
+    payload: bytes = b"",
+    base: int = 0,
+    offset: int = 0,
+    total: int = 0,
+) -> bytes:
+    head = HEADER.pack(msg_type, seq & 0xFF, ack & 0xFF, handler & 0xFF)
+    if msg_type in (MSG_XFER, MSG_GET, MSG_XFER_REPLY):
+        return head + XFER_HEADER.pack(base, offset, total) + payload
+    return head + payload
+
+
+def decode(raw: bytes) -> Message:
+    if len(raw) < HEADER.size:
+        raise ValueError(f"short UAM message: {len(raw)} bytes")
+    msg_type, seq, ack, handler = HEADER.unpack(raw[: HEADER.size])
+    body = raw[HEADER.size :]
+    if msg_type in (MSG_XFER, MSG_GET, MSG_XFER_REPLY):
+        if len(body) < XFER_HEADER.size:
+            raise ValueError("short bulk sub-header")
+        base, offset, total = XFER_HEADER.unpack(body[: XFER_HEADER.size])
+        return Message(
+            type=msg_type, seq=seq, ack=ack, handler=handler,
+            payload=body[XFER_HEADER.size :], base=base, offset=offset, total=total,
+        )
+    return Message(type=msg_type, seq=seq, ack=ack, handler=handler, payload=body)
+
+
+def seq_lte(a: int, b: int) -> bool:
+    """a <= b in modulo-256 sequence space (window < 128)."""
+    return ((b - a) & 0xFF) < 128

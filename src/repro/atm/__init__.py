@@ -1,0 +1,48 @@
+"""Cell-level ATM network substrate.
+
+Models the physical network the U-Net paper runs on: 53-byte ATM cells
+carried over 140 Mbit/s TAXI fibers through a Fore ASX-200-style
+output-buffered switch, with AAL5 segmentation-and-reassembly (8-byte
+trailer, CRC-32) on top.
+
+The substrate moves *real bytes*: every PDU is segmented into genuine
+48-byte cell payloads and reassembled (with CRC verification) at the far
+end, so cell loss corrupts PDUs exactly the way §7.8 of the paper
+discusses for TCP-over-ATM.
+"""
+
+from repro.atm.aal5 import (
+    AAL5_TRAILER_SIZE,
+    AAL5Error,
+    Reassembler,
+    aal5_limit_bandwidth,
+    cells_for_pdu,
+    reassemble_pdu,
+    segment_pdu,
+)
+from repro.atm.cell import ATM_CELL_SIZE, ATM_PAYLOAD_SIZE, Cell
+from repro.atm.crc import crc32_aal5, internet_checksum
+from repro.atm.link import TAXI_140_BPS, Link
+from repro.atm.network import AtmNetwork, NetworkPort
+from repro.atm.switch import Switch, SwitchRoute
+
+__all__ = [
+    "AAL5Error",
+    "AAL5_TRAILER_SIZE",
+    "ATM_CELL_SIZE",
+    "ATM_PAYLOAD_SIZE",
+    "AtmNetwork",
+    "Cell",
+    "Link",
+    "NetworkPort",
+    "Reassembler",
+    "Switch",
+    "SwitchRoute",
+    "TAXI_140_BPS",
+    "aal5_limit_bandwidth",
+    "cells_for_pdu",
+    "crc32_aal5",
+    "internet_checksum",
+    "reassemble_pdu",
+    "segment_pdu",
+]

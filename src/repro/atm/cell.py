@@ -1,0 +1,44 @@
+"""The ATM cell: 53 bytes on the wire, 48 bytes of payload.
+
+Only the header fields the substrate actually uses are modelled: the
+virtual channel identifier (the U-Net message *tag*, §3.2) and the
+payload-type "last cell of AAL5 PDU" bit.  The 5 header bytes are still
+charged on the wire so that link serialization times and the Figure 4
+"AAL-5 limit" sawtooth come out right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ATM_CELL_SIZE = 53
+ATM_HEADER_SIZE = 5
+ATM_PAYLOAD_SIZE = 48
+MAX_VCI = 0xFFFF
+
+
+@dataclass
+class Cell:
+    """A single ATM cell in flight."""
+
+    vci: int
+    payload: bytes
+    last: bool = False  # AAL5 end-of-PDU indication (PT bit)
+    seq: int = 0  # diagnostic: position within its PDU
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vci <= MAX_VCI:
+            raise ValueError(f"VCI out of range: {self.vci}")
+        if len(self.payload) != ATM_PAYLOAD_SIZE:
+            raise ValueError(
+                f"cell payload must be exactly {ATM_PAYLOAD_SIZE} bytes, "
+                f"got {len(self.payload)}"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        return ATM_CELL_SIZE
+
+    def with_vci(self, vci: int) -> "Cell":
+        """Copy of this cell relabelled with a new VCI (switch translation)."""
+        return Cell(vci=vci, payload=self.payload, last=self.last, seq=self.seq)

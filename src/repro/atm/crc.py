@@ -1,0 +1,62 @@
+"""Checksums used by the substrate.
+
+* CRC-32 (IEEE 802.3 polynomial) as used by the AAL5 trailer.  The
+  SBA-200 computes this in hardware; the SBA-100 lacks the hardware and
+  the paper charges the host CPU for it (Table 1 discussion).
+* The 16-bit one's-complement Internet checksum used by UDP/TCP (§7.6).
+"""
+
+from __future__ import annotations
+
+_CRC32_POLY = 0xEDB88320  # reflected form of 0x04C11DB7
+
+
+def _build_table() -> list:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC32_POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_CRC32_TABLE = _build_table()
+
+
+def crc32_aal5(data: bytes, crc: int = 0xFFFFFFFF) -> int:
+    """CRC-32 over ``data``; chainable via the ``crc`` argument.
+
+    Returns the final (inverted) CRC value as used in the AAL5 trailer.
+    To chain, pass the *raw* running value: use :func:`crc32_update` for
+    incremental computation.
+    """
+    return crc32_finish(crc32_update(data, crc))
+
+
+def crc32_update(data: bytes, crc: int = 0xFFFFFFFF) -> int:
+    """Incremental CRC-32 update; returns the running (non-inverted) value."""
+    table = _CRC32_TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc
+
+
+def crc32_finish(crc: int) -> int:
+    return crc ^ 0xFFFFFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit one's-complement checksum."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

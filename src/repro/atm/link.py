@@ -1,0 +1,104 @@
+"""Point-to-point fiber link model.
+
+A :class:`Link` is a unidirectional pipe with finite bandwidth and a
+fixed propagation delay.  Cells are serialized: each occupies the link
+for ``53 * 8 / bandwidth`` seconds, and back-to-back cells pipeline (the
+paper's ~6 us/cell round-trip increment is two link serializations).
+
+A loss function can be attached to model the dropped-cell scenarios of
+§7.8; dropping any cell of an AAL5 PDU kills the whole PDU downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.atm.cell import Cell
+from repro.sim import Simulator, Store, Tracer
+
+#: 140 Mbit/s TAXI fiber used throughout the paper's testbed.
+TAXI_140_BPS = 140_000_000.0
+#: Classic 10 Mbit/s Ethernet, for the Figure 6 baseline.
+ETHERNET_10_BPS = 10_000_000.0
+
+
+class Link:
+    """Unidirectional serialized link delivering cells to a sink callable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = TAXI_140_BPS,
+        propagation_us: float = 0.3,
+        name: str = "link",
+        tracer: Optional[Tracer] = None,
+        loss_fn: Optional[Callable[[Cell], bool]] = None,
+        queue_cells: float = float("inf"),
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_us < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_us = propagation_us
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self.loss_fn = loss_fn
+        self._sink: Optional[Callable[[Cell], None]] = None
+        self._queue = Store(sim, capacity=queue_cells, name=f"{name}.txq")
+        self.cells_sent = 0
+        self.cells_dropped = 0
+        self.bytes_sent = 0
+        sim.process(self._pump(), name=f"{name}.pump")
+
+    def connect(self, sink: Callable[[Cell], None]) -> None:
+        """Attach the receiving end; must be called before traffic flows."""
+        self._sink = sink
+
+    def set_queue_capacity(self, cells: float) -> None:
+        """Resize the transmit queue (NI models bound it to their FIFO depth)."""
+        if cells <= 0:
+            raise ValueError("queue capacity must be positive")
+        self._queue.capacity = cells
+
+    def cell_time_us(self, wire_bytes: int = 53) -> float:
+        return wire_bytes * 8 / self.bandwidth_bps * 1e6
+
+    def put(self, cell: Cell):
+        """Blocking enqueue: returns an event that triggers once the cell
+        fits in the transmit queue.  Used by NI models that pace
+        themselves to the wire instead of dropping."""
+        return self._queue.put(cell)
+
+    def send(self, cell: Cell) -> bool:
+        """Enqueue a cell for transmission.
+
+        Returns False if the transmit queue overflowed (cell dropped).
+        """
+        ok = self._queue.try_put(cell)
+        if not ok:
+            self.cells_dropped += 1
+            self.tracer.count(f"{self.name}.txq_drop")
+        return ok
+
+    def _pump(self):
+        sim = self.sim
+        while True:
+            cell = yield self._queue.get()
+            # Serialization: the link is busy for the cell's wire time.
+            yield sim.timeout(self.cell_time_us(cell.wire_bytes))
+            self.cells_sent += 1
+            self.bytes_sent += cell.wire_bytes
+            if self.loss_fn is not None and self.loss_fn(cell):
+                self.cells_dropped += 1
+                self.tracer.count(f"{self.name}.loss")
+                continue
+            if self._sink is None:
+                raise RuntimeError(f"link {self.name!r} has no sink connected")
+            # Propagation: schedule delivery without blocking the pump.
+            sim.process(self._deliver(cell), name=f"{self.name}.deliver")
+
+    def _deliver(self, cell: Cell):
+        yield self.sim.timeout(self.propagation_us)
+        self._sink(cell)

@@ -1,0 +1,103 @@
+"""Output-buffered ATM switch in the style of the Fore ASX-200.
+
+Each port is a full-duplex fiber attachment: cells arriving on a port's
+input are looked up in a per-(port, VCI) routing table, relabelled with
+the outgoing VCI, and forwarded after a fixed switching latency to the
+output link of the destination port.  Output contention is absorbed by
+the (finite) output link queue; overflow drops cells, which downstream
+turns into AAL5 CRC failures -- the paper's §7.8 cell-loss discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.atm.cell import Cell
+from repro.atm.link import TAXI_140_BPS, Link
+from repro.sim import Simulator, Tracer
+
+
+@dataclass(frozen=True)
+class SwitchRoute:
+    out_port: int
+    out_vci: int
+
+
+class Switch:
+    """An N-port VCI-translating cell switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        bandwidth_bps: float = TAXI_140_BPS,
+        switching_latency_us: float = 2.0,
+        output_queue_cells: int = 256,
+        propagation_us: float = 0.3,
+        name: str = "asx200",
+        tracer: Optional[Tracer] = None,
+    ):
+        if n_ports < 1:
+            raise ValueError("switch needs at least one port")
+        self.sim = sim
+        self.n_ports = n_ports
+        self.switching_latency_us = switching_latency_us
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self._routes: Dict[Tuple[int, int], SwitchRoute] = {}
+        self.output_links = [
+            Link(
+                sim,
+                bandwidth_bps=bandwidth_bps,
+                propagation_us=propagation_us,
+                name=f"{name}.out{p}",
+                tracer=self.tracer,
+                queue_cells=output_queue_cells,
+            )
+            for p in range(n_ports)
+        ]
+        self.cells_switched = 0
+        self.cells_unrouted = 0
+
+    def add_route(self, in_port: int, in_vci: int, out_port: int, out_vci: int) -> None:
+        self._check_port(in_port)
+        self._check_port(out_port)
+        key = (in_port, in_vci)
+        if key in self._routes:
+            raise ValueError(f"route already exists for port {in_port} VCI {in_vci}")
+        self._routes[key] = SwitchRoute(out_port, out_vci)
+
+    def remove_route(self, in_port: int, in_vci: int) -> None:
+        del self._routes[(in_port, in_vci)]
+
+    def has_route(self, in_port: int, in_vci: int) -> bool:
+        return (in_port, in_vci) in self._routes
+
+    def input_sink(self, port: int):
+        """The callable to wire a host's TX link into."""
+        self._check_port(port)
+
+        def sink(cell: Cell, _port: int = port) -> None:
+            self._receive(_port, cell)
+
+        return sink
+
+    def _receive(self, port: int, cell: Cell) -> None:
+        route = self._routes.get((port, cell.vci))
+        if route is None:
+            self.cells_unrouted += 1
+            self.tracer.count(f"{self.name}.unrouted")
+            return
+        self.sim.process(
+            self._forward(route, cell), name=f"{self.name}.fwd_p{port}"
+        )
+
+    def _forward(self, route: SwitchRoute, cell: Cell):
+        yield self.sim.timeout(self.switching_latency_us)
+        self.cells_switched += 1
+        self.output_links[route.out_port].send(cell.with_vci(route.out_vci))
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ValueError(f"port {port} out of range (0..{self.n_ports - 1})")

@@ -1,0 +1,26 @@
+"""Benchmark harness shared by the ``benchmarks/`` directory.
+
+* :mod:`repro.bench.micro` -- raw U-Net micro-benchmarks (ping-pong
+  latency, windowed streaming bandwidth) against any NI model.
+* :mod:`repro.bench.report` -- table/series formatting helpers so every
+  benchmark prints rows in the shape the paper reports.
+"""
+
+from repro.bench.micro import (
+    fore_interface_stats,
+    raw_bandwidth,
+    raw_rtt,
+    sba100_cost_breakup,
+)
+from repro.bench.report import Series, Table, format_bandwidth, format_us
+
+__all__ = [
+    "Series",
+    "Table",
+    "fore_interface_stats",
+    "format_bandwidth",
+    "format_us",
+    "raw_bandwidth",
+    "raw_rtt",
+    "sba100_cost_breakup",
+]

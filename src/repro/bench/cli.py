@@ -1,0 +1,224 @@
+"""Command-line experiment runner: ``python -m repro.bench.cli [name]``.
+
+Regenerates the paper's tables and figures from the simulated stack and
+prints them (optionally writing a combined report file).  Names:
+
+    table1 fore fig3 fig4 table2 fig5 fig6 fig7 fig8 fig9 table3 all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.atm.aal5 import aal5_limit_bandwidth
+from repro.bench import (
+    Series,
+    Table,
+    fore_interface_stats,
+    raw_bandwidth,
+    raw_rtt,
+    sba100_cost_breakup,
+)
+from repro.bench.ip import tcp_bandwidth, tcp_rtt, udp_bandwidth, udp_rtt
+from repro.bench.report import print_figure
+from repro.bench.uam import (
+    uam_get_bandwidth,
+    uam_single_cell_rtt,
+    uam_store_bandwidth,
+    uam_xfer_rtt,
+)
+
+
+def run_table1() -> str:
+    r = sba100_cost_breakup()
+    table = Table("Table 1: SBA-100 single-cell cost breakup",
+                  ["Operation", "Paper (us)", "Measured (us)"])
+    table.add_row("1-way send+rcv across switch (trap level)", 21,
+                  f"{r['trap_level_one_way_us']:.1f}")
+    table.add_row("Send overhead (AAL5)", 7, f"{r['send_overhead_aal5_us']:.1f}")
+    table.add_row("Receive overhead (AAL5)", 5, f"{r['recv_overhead_aal5_us']:.1f}")
+    table.add_row("Total (one-way)", 33, f"{r['total_one_way_us']:.1f}")
+    return str(table)
+
+
+def run_fore() -> str:
+    r = fore_interface_stats()
+    table = Table("Fore firmware baseline (§4.2.1)", ["Metric", "Paper", "Measured"])
+    table.add_row("round trip", "~160 us", f"{r['rtt_us']:.1f} us")
+    table.add_row("bandwidth @4KB", "13 MB/s",
+                  f"{r['bw_4k_bytes_per_s'] / 1e6:.1f} MB/s")
+    return str(table)
+
+
+def run_fig3() -> str:
+    raw = Series("Raw U-Net")
+    for size in (0, 16, 32, 40, 48, 192, 512, 1024):
+        raw.add(size, raw_rtt(size, n=4).mean_us)
+    uam = Series("UAM")
+    for size in (0, 16, 32):
+        uam.add(size, uam_single_cell_rtt(size, n=4).mean_us)
+    xfer = Series("UAM xfer")
+    for size in (48, 256, 1024):
+        xfer.add(size, uam_xfer_rtt(size, n=4).mean_us)
+    return print_figure("Figure 3: round-trip times (us)", [raw, uam, xfer],
+                        "bytes", "us")
+
+
+def run_fig4() -> str:
+    limit = Series("AAL-5 limit")
+    raw = Series("Raw U-Net")
+    store = Series("UAM store")
+    for size in (96, 384, 800, 2048, 4096):
+        limit.add(size, aal5_limit_bandwidth(size, 140e6) / 1e6)
+        raw.add(size, raw_bandwidth(size).bytes_per_second / 1e6)
+    for size in (1024, 2048, 4096):
+        store.add(size, uam_store_bandwidth(size).bytes_per_second / 1e6)
+    return print_figure("Figure 4: bandwidth (MB/s)", [limit, raw, store],
+                        "bytes", "MB/s")
+
+
+def run_table2() -> str:
+    from repro.splitc.machines import ALL_MACHINES
+
+    table = Table("Table 2: machine characteristics",
+                  ["Machine", "overhead", "round-trip", "bandwidth"])
+    for m in ALL_MACHINES:
+        table.add_row(m.name, f"{m.overhead_us:.0f} us",
+                      f"{m.round_trip_us:.0f} us",
+                      f"{m.bandwidth_bps / 1e6:.0f} MB/s")
+    return str(table)
+
+
+def run_fig5() -> str:
+    from repro.splitc.apps import FIGURE5_SUITE
+    from repro.splitc.harness import run_on_machine
+    from repro.splitc.machines import ATM_CLUSTER, CM5, MEIKO_CS2
+
+    table = Table("Figure 5: Split-C benchmarks normalized to the CM-5",
+                  ["Benchmark", "CM-5", "U-Net ATM", "Meiko CS-2"])
+    for label, app, params in FIGURE5_SUITE:
+        row = {}
+        for machine in (CM5, ATM_CLUSTER, MEIKO_CS2):
+            result = run_on_machine(machine, app, nprocs=8, label=label, **params)
+            if not result.verified:
+                raise RuntimeError(f"{label} wrong on {machine.name}")
+            row[machine.name] = result.total_us
+        cm5 = row["CM-5"]
+        table.add_row(label, "1.00", f"{row['U-Net ATM'] / cm5:.2f}",
+                      f"{row['Meiko CS-2'] / cm5:.2f}")
+    return str(table)
+
+
+def run_fig6() -> str:
+    curves = []
+    for kind, net in (("kernel-atm", "ATM"), ("kernel-eth", "Ethernet")):
+        s = Series(f"kernel UDP / {net}")
+        for size in (16, 256, 1024, 4096):
+            s.add(size, udp_rtt(size, kind=kind, n=3).mean_us)
+        curves.append(s)
+    return print_figure("Figure 6: kernel UDP latency, ATM vs Ethernet (us)",
+                        curves, "bytes", "us")
+
+
+def run_fig7() -> str:
+    k_send = Series("kernel UDP (sent)")
+    k_recv = Series("kernel UDP (received)")
+    unet = Series("U-Net UDP")
+    for size in (1000, 2048, 4096, 8000):
+        r = udp_bandwidth(size, kind="kernel-atm")
+        k_send.add(size, r.send_rate / 1e6)
+        k_recv.add(size, r.recv_rate / 1e6)
+        unet.add(size, udp_bandwidth(size, kind="unet").recv_rate / 1e6)
+    return print_figure("Figure 7: UDP bandwidth (MB/s)",
+                        [k_send, k_recv, unet], "bytes", "MB/s")
+
+
+def run_fig8() -> str:
+    curves = []
+    for kind, window, label in (("unet", 8192, "U-Net TCP 8K"),
+                                ("kernel-atm", 65535, "kernel TCP 64K")):
+        s = Series(label)
+        for ws in (2048, 4096, 8192):
+            s.add(ws, tcp_bandwidth(ws, kind=kind, window=window).bytes_per_second / 1e6)
+        curves.append(s)
+    return print_figure("Figure 8: TCP bandwidth (MB/s)", curves,
+                        "write bytes", "MB/s")
+
+
+def run_fig9() -> str:
+    curves = []
+    for label, fn, kind in (("U-Net UDP", udp_rtt, "unet"),
+                            ("U-Net TCP", tcp_rtt, "unet"),
+                            ("kernel UDP", udp_rtt, "kernel-atm")):
+        s = Series(label)
+        for size in (8, 64, 1024):
+            s.add(size, fn(size, kind=kind, n=3).mean_us)
+        curves.append(s)
+    return print_figure("Figure 9: UDP/TCP round-trip latency (us)", curves,
+                        "bytes", "us")
+
+
+def run_table3() -> str:
+    table = Table("Table 3: U-Net summary",
+                  ["Protocol", "RTT (us)", "BW @4KB (Mbit/s)"])
+    table.add_row("Raw AAL5", f"{raw_rtt(32, n=4).mean_us:.0f}",
+                  f"{raw_bandwidth(4096).bytes_per_second * 8 / 1e6:.0f}")
+    table.add_row("Active Messages", f"{uam_single_cell_rtt(32, n=4).mean_us:.0f}",
+                  f"{uam_store_bandwidth(4096).bytes_per_second * 8 / 1e6:.0f}")
+    table.add_row("UDP", f"{udp_rtt(64, kind='unet', n=4).mean_us:.0f}",
+                  f"{udp_bandwidth(4096, kind='unet').recv_rate * 8 / 1e6:.0f}")
+    table.add_row("TCP", f"{tcp_rtt(8, kind='unet', n=4).mean_us:.0f}",
+                  f"{tcp_bandwidth(4096, kind='unet').bytes_per_second * 8 / 1e6:.0f}")
+    table.add_row("Split-C store (via UAM)",
+                  f"{uam_single_cell_rtt(31, n=4).mean_us:.0f}",
+                  f"{uam_get_bandwidth(4096).bytes_per_second * 8 / 1e6:.0f}")
+    return str(table)
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": run_table1,
+    "fore": run_fore,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "table2": run_table2,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table3": run_table3,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli",
+        description="Regenerate the U-Net paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=["all"],
+        help=f"which to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument("-o", "--output", help="also write the report to a file")
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiments in ([], ["all"]) else args.experiments
+    sections = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}")
+        print(f"== running {name} ==", flush=True)
+        text = EXPERIMENTS[name]()
+        print(text)
+        print()
+        sections.append(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("\n\n".join(sections) + "\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""The four UAM micro-benchmarks of §5.2.
+
+1. single-cell round-trip time (0-32 bytes of data),
+2. block-transfer round-trip time (store N, peer stores N back),
+3. block store bandwidth (repeated stores in a loop),
+4. block get bandwidth (a series of gets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.am import UAM, UamConfig
+from repro.bench.micro import _build_pair
+from repro.sim import StatSeries
+
+H_ECHO = 1
+H_DONE = 2
+H_XFER_DONE = 3
+H_GET_DONE = 4
+
+
+@dataclass
+class UamRttResult:
+    size: int
+    mean_us: float
+    samples: List[float]
+
+
+@dataclass
+class UamBandwidthResult:
+    size: int
+    bytes_per_second: float
+    blocks: int
+    retransmissions: int
+
+
+def _build_uam_pair(window: int = 8, mhz: float = 60.0):
+    sim, cluster, sa, sb, ch_a, ch_b = _build_pair("sba200", mhz)
+    cfg = UamConfig(window=window)
+    ua, ub = UAM(sa, cfg), UAM(sb, cfg)
+    return sim, cluster, ua, ub, ch_a, ch_b
+
+
+def _responder_loop(uam, stop):
+    """Generic UAM server loop: poll until told to stop."""
+    while not stop.get("done"):
+        yield from uam.poll_wait(timeout_us=500.0)
+
+
+def uam_single_cell_rtt(size: int = 32, n: int = 8, window: int = 8) -> UamRttResult:
+    """§5.2 benchmark 1: request with 0-32 bytes, handler replies with an
+    identical message.  Paper: starts at 71 us (~6 us over raw U-Net)."""
+    if size > 32:
+        raise ValueError("single-cell benchmark uses 0-32 bytes of data")
+    sim, cluster, ua, ub, ch_a, ch_b = _build_uam_pair(window)
+    stats = StatSeries(f"uam-rtt-{size}")
+    payload = bytes(size)
+    state = {"replies": 0}
+    stop = {}
+
+    def echo(uam, ch, msg):
+        yield from uam.reply(H_DONE, msg.payload)
+
+    def done(uam, ch, msg):
+        assert msg.payload == payload
+        state["replies"] += 1
+        return
+        yield
+
+    ub.register_handler(H_ECHO, echo)
+    ua.register_handler(H_DONE, done)
+
+    def requester():
+        yield from ua.open_channel(ch_a.ident)
+        for i in range(n):
+            t0 = sim.now
+            yield from ua.request(ch_a.ident, H_ECHO, payload)
+            while state["replies"] <= i:
+                yield from ua.poll_wait()
+            stats.add(sim.now - t0)
+        stop["done"] = True
+
+    def responder():
+        yield from ub.open_channel(ch_b.ident)
+        yield from _responder_loop(ub, stop)
+
+    sim.process(requester())
+    sim.process(responder())
+    sim.run(until=1e9)
+    if len(stats) != n:
+        raise RuntimeError("UAM ping-pong stalled")
+    return UamRttResult(size=size, mean_us=stats.mean, samples=stats.samples)
+
+
+def uam_xfer_rtt(size: int, n: int = 6, window: int = 8) -> UamRttResult:
+    """§5.2 benchmark 2: N-byte block transfers back and forth.
+    Paper: roughly 135 us + N * 0.2 us."""
+    sim, cluster, ua, ub, ch_a, ch_b = _build_uam_pair(window)
+    stats = StatSeries(f"uam-xfer-{size}")
+    data = bytes(i % 253 for i in range(size))
+    state = {"got_back": 0, "bounce": 0}
+    stop = {}
+
+    def bounce_done(uam, ch, msg):
+        state["bounce"] += 1
+        return
+        yield
+
+    def back_done(uam, ch, msg):
+        state["got_back"] += 1
+        return
+        yield
+
+    ub.register_handler(H_XFER_DONE, bounce_done)
+    ua.register_handler(H_DONE, back_done)
+
+    def requester():
+        yield from ua.open_channel(ch_a.ident)
+        for i in range(n):
+            t0 = sim.now
+            yield from ua.store(ch_a.ident, data, remote_addr=0, handler=H_XFER_DONE)
+            while state["got_back"] <= i:
+                yield from ua.poll_wait()
+            assert bytes(ua.memory[4096 : 4096 + size]) == data
+            stats.add(sim.now - t0)
+        stop["done"] = True
+
+    def responder():
+        yield from ub.open_channel(ch_b.ident)
+        sent_back = 0
+        while not stop.get("done"):
+            yield from ub.poll_wait(timeout_us=500.0)
+            if state["bounce"] > sent_back:
+                sent_back += 1
+                block = bytes(ub.memory[0:size])
+                yield from ub.store(ch_b.ident, block, remote_addr=4096, handler=H_DONE)
+
+    sim.process(requester())
+    sim.process(responder())
+    sim.run(until=1e9)
+    if len(stats) != n:
+        raise RuntimeError(f"UAM xfer ping-pong stalled at {size} bytes")
+    return UamRttResult(size=size, mean_us=stats.mean, samples=stats.samples)
+
+
+def uam_store_bandwidth(
+    size: int, blocks: Optional[int] = None, window: int = 8
+) -> UamBandwidthResult:
+    """§5.2 benchmark 3: 'repeatedly storing a block of a specified size
+    to a remote node in a loop'.  Paper: 80% of the AAL-5 limit at
+    ~2 KB blocks, peaking at 14.8 MB/s, with a dip where a block no
+    longer fits one 4160-byte buffer."""
+    if blocks is None:
+        blocks = max(20, min(150, 300_000 // max(size, 100)))
+    sim, cluster, ua, ub, ch_a, ch_b = _build_uam_pair(window)
+    data = bytes(i % 251 for i in range(size))
+    state = {"completed": 0}
+    stop = {}
+    times = {}
+
+    def store_done(uam, ch, msg):
+        state["completed"] += 1
+        if state["completed"] == blocks:
+            times["t1"] = uam.sim.now
+        return
+        yield
+
+    ub.register_handler(H_XFER_DONE, store_done)
+
+    def sender():
+        yield from ua.open_channel(ch_a.ident)
+        times["t0"] = sim.now
+        for _ in range(blocks):
+            yield from ua.store(ch_a.ident, data, remote_addr=0, handler=H_XFER_DONE)
+        while state["completed"] < blocks:
+            yield from ua.poll_wait()
+        stop["done"] = True
+
+    def receiver():
+        yield from ub.open_channel(ch_b.ident)
+        yield from _responder_loop(ub, stop)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run(until=1e10)
+    if "t1" not in times:
+        raise RuntimeError(f"UAM store stream stalled at {size} bytes")
+    elapsed = times["t1"] - times["t0"]
+    return UamBandwidthResult(
+        size=size,
+        bytes_per_second=blocks * size / (elapsed / 1e6),
+        blocks=blocks,
+        retransmissions=ua.retransmissions + ub.retransmissions,
+    )
+
+
+def uam_get_bandwidth(
+    size: int, blocks: Optional[int] = None, window: int = 8
+) -> UamBandwidthResult:
+    """§5.2 benchmark 4: 'sending a series of requests to a remote node
+    to fetch a block of specified size'.  Paper: nearly identical to
+    block store."""
+    if blocks is None:
+        blocks = max(20, min(150, 300_000 // max(size, 100)))
+    sim, cluster, ua, ub, ch_a, ch_b = _build_uam_pair(window)
+    state = {"completed": 0}
+    stop = {}
+    times = {}
+
+    def get_done(uam, ch, msg):
+        state["completed"] += 1
+        if state["completed"] == blocks:
+            times["t1"] = uam.sim.now
+        return
+        yield
+
+    ua.register_handler(H_GET_DONE, get_done)
+
+    def requester():
+        yield from ua.open_channel(ch_a.ident)
+        ua.memory[0:size] = bytes(size)
+        times["t0"] = sim.now
+        for _ in range(blocks):
+            yield from ua.get(
+                ch_a.ident, remote_addr=0, local_addr=0, length=size,
+                handler=H_GET_DONE,
+            )
+        while state["completed"] < blocks:
+            yield from ua.poll_wait()
+        stop["done"] = True
+
+    def responder():
+        yield from ub.open_channel(ch_b.ident)
+        ub.memory[0:size] = bytes(i % 247 for i in range(size))
+        yield from _responder_loop(ub, stop)
+
+    sim.process(requester())
+    sim.process(responder())
+    sim.run(until=1e10)
+    if "t1" not in times:
+        raise RuntimeError(f"UAM get stream stalled at {size} bytes")
+    elapsed = times["t1"] - times["t0"]
+    return UamBandwidthResult(
+        size=size,
+        bytes_per_second=blocks * size / (elapsed / 1e6),
+        blocks=blocks,
+        retransmissions=ua.retransmissions + ub.retransmissions,
+    )

@@ -1,0 +1,71 @@
+"""The U-Net architecture (the paper's primary contribution, §3).
+
+Building blocks:
+
+* :class:`~repro.core.endpoint.Endpoint` -- an application's handle into
+  the network: a communication segment plus send/receive/free rings.
+* :class:`~repro.core.endpoint.Channel` -- a kernel-installed mapping
+  between an endpoint and a network tag (VCI pair).
+* :class:`~repro.core.mux.Mux` -- the demultiplexing agent in the NI.
+* :class:`~repro.core.kernel_agent.KernelAgent` /
+  :class:`~repro.core.kernel_agent.ClusterDirectory` -- set-up,
+  tear-down, authentication; the kernel never touches the data path.
+* :class:`~repro.core.api.UNetSession` -- the thin user-level library.
+* :class:`~repro.core.cluster.UNetCluster` -- full testbed assembly.
+* :mod:`repro.core.ni` -- the SBA-100/SBA-200/Fore NI models.
+"""
+
+from repro.core.api import UNetSession
+from repro.core.cluster import UNetCluster
+from repro.core.descriptors import (
+    SINGLE_CELL_MAX,
+    FreeDescriptor,
+    RecvDescriptor,
+    SendDescriptor,
+)
+from repro.core.endpoint import Channel, Endpoint
+from repro.core.errors import (
+    ChannelError,
+    ProtectionError,
+    QueueFullError,
+    ResourceLimitError,
+    SegmentRangeError,
+    UNetError,
+)
+from repro.core.kernel_agent import (
+    ClusterDirectory,
+    KernelAgent,
+    ResourceLimits,
+    allow_all,
+)
+from repro.core.mux import Mux
+from repro.core.queues import DescriptorRing
+from repro.core.segment import CommSegment
+from repro.core.upcall import UpcallCondition, UpcallRegistration, register_upcall
+
+__all__ = [
+    "Channel",
+    "ChannelError",
+    "ClusterDirectory",
+    "CommSegment",
+    "DescriptorRing",
+    "Endpoint",
+    "FreeDescriptor",
+    "KernelAgent",
+    "Mux",
+    "ProtectionError",
+    "QueueFullError",
+    "RecvDescriptor",
+    "ResourceLimitError",
+    "ResourceLimits",
+    "SINGLE_CELL_MAX",
+    "SegmentRangeError",
+    "SendDescriptor",
+    "UNetCluster",
+    "UNetError",
+    "UNetSession",
+    "UpcallCondition",
+    "UpcallRegistration",
+    "allow_all",
+    "register_upcall",
+]

@@ -1,0 +1,80 @@
+"""Message descriptors carried in the send/receive/free queues (§3.1, §3.4).
+
+Send descriptors name a destination channel and a scatter-gather list of
+buffers in the communication segment.  Receive descriptors name the
+origin channel and the buffers the NI filled.  As the small-message
+optimization of §3.4, descriptors can instead carry the message bytes
+*inline*, avoiding buffer management entirely; the inline capacity is an
+implementation property of the NI (40 bytes for the SBA-200 firmware:
+the largest message that still fits a single cell with the AAL5
+trailer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Largest message that fits one ATM cell alongside the 8-byte AAL5
+#: trailer; the paper's single-cell fast path (§4.2.2, §8: "messages
+#: smaller than 40 bytes").
+SINGLE_CELL_MAX = 40
+
+
+@dataclass
+class SendDescriptor:
+    """A message the process wants injected into the network."""
+
+    channel: int
+    #: Scatter-gather list of (offset, length) into the comm segment.
+    bufs: Tuple[Tuple[int, int], ...] = ()
+    #: Small-message optimization: payload stored inline in the descriptor.
+    inline: Optional[bytes] = None
+    #: Set by the NI once the message has been injected; signals to the
+    #: process that the send buffers may be reused (§3.1).
+    injected: bool = False
+    #: Optional event the NI triggers when it sets ``injected``.
+    completion: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.inline is not None and self.bufs:
+            raise ValueError("descriptor cannot carry both inline data and buffers")
+        if self.inline is not None and len(self.inline) > SINGLE_CELL_MAX:
+            raise ValueError(
+                f"inline data limited to {SINGLE_CELL_MAX} bytes, got {len(self.inline)}"
+            )
+        for offset, length in self.bufs:
+            if offset < 0 or length <= 0:
+                raise ValueError(f"bad buffer ({offset}, {length})")
+
+    @property
+    def length(self) -> int:
+        if self.inline is not None:
+            return len(self.inline)
+        return sum(length for _, length in self.bufs)
+
+
+@dataclass
+class RecvDescriptor:
+    """A message the NI delivered to this endpoint."""
+
+    channel: int
+    length: int
+    bufs: Tuple[Tuple[int, int], ...] = ()
+    inline: Optional[bytes] = None
+
+    @property
+    def is_inline(self) -> bool:
+        return self.inline is not None
+
+
+@dataclass
+class FreeDescriptor:
+    """A receive buffer the process hands to the NI (free queue, §3.4)."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise ValueError(f"bad free buffer ({self.offset}, {self.length})")

@@ -1,0 +1,215 @@
+"""Kernel-emulated U-Net endpoints (§3.5).
+
+Communication segments and message queues on the NI are scarce, so the
+kernel can multiplex many *emulated* endpoints onto a single real one.
+To the application an emulated endpoint looks exactly like a regular
+endpoint -- same :class:`~repro.core.endpoint.Endpoint` object, same
+session API -- "except that the performance characteristics are quite
+different": every send and receive crosses the kernel (a system call
+plus a copy between the pageable user segment and the kernel's pinned
+real segment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.descriptors import (
+    SINGLE_CELL_MAX,
+    FreeDescriptor,
+    RecvDescriptor,
+    SendDescriptor,
+)
+from repro.core.endpoint import Channel, Endpoint
+
+KERNEL_OWNER = "<kernel>"
+
+
+class EmulatedUNet:
+    """Per-host kernel service multiplexing emulated endpoints onto one
+    real endpoint."""
+
+    #: Fixed-size kernel buffers in the real endpoint's segment.
+    KERNEL_BUFFER = 4160
+
+    def __init__(self, agent, segment_size: int = 256 * 1024, kernel_buffers: int = 24):
+        self.agent = agent
+        self.host = agent.host
+        self.sim = agent.host.sim
+        self.real: Endpoint = agent.create_endpoint(
+            owner=KERNEL_OWNER,
+            name=f"{self.host.name}.kernel-ep",
+            segment_size=segment_size,
+            send_ring=128,
+            recv_ring=128,
+            free_ring=64,
+        )
+        self.emulated: list = []
+        self._emu_to_real: Dict[int, Channel] = {}
+        self._real_to_emu: Dict[int, Tuple[Endpoint, Channel]] = {}
+        self.forwarded_in = 0
+        self.forwarded_out = 0
+        self.unmatched = 0
+        # Stock the real endpoint's free queue with kernel buffers.
+        for _ in range(kernel_buffers):
+            offset = self.real.segment.alloc(self.KERNEL_BUFFER)
+            self.real.post_free(
+                FreeDescriptor(offset, self.KERNEL_BUFFER), KERNEL_OWNER
+            )
+        self.sim.process(self._recv_service(), name=f"{self.host.name}.kemu.rx")
+
+    # -- endpoint lifecycle -------------------------------------------------
+    def create_endpoint(self, owner: str, name: str = "", **ring_kwargs) -> Endpoint:
+        endpoint = Endpoint(
+            self.sim,
+            name=name or f"{self.host.name}.emu{len(self.emulated)}",
+            owner=owner,
+            emulated=True,
+            **ring_kwargs,
+        )
+        self.emulated.append(endpoint)
+        self.sim.process(
+            self._send_service(endpoint), name=f"{self.host.name}.kemu.tx"
+        )
+        return endpoint
+
+    def install_channel(
+        self, endpoint: Endpoint, tx_vci: int, rx_vci: int, peer_host: str
+    ) -> Channel:
+        """Install the real channel on the kernel endpoint and hand the
+        application a virtual channel on its emulated endpoint."""
+        real_ch = Channel(
+            ident=self.agent.allocate_channel_id(),
+            endpoint=self.real,
+            tx_vci=tx_vci,
+            rx_vci=rx_vci,
+            peer_host=peer_host,
+        )
+        self.agent.ni.mux.register(real_ch)
+        self.real.channels[real_ch.ident] = real_ch
+        emu_ch = Channel(
+            ident=self.agent.allocate_channel_id(),
+            endpoint=endpoint,
+            tx_vci=tx_vci,
+            rx_vci=rx_vci,
+            peer_host=peer_host,
+        )
+        endpoint.channels[emu_ch.ident] = emu_ch
+        self._emu_to_real[emu_ch.ident] = real_ch
+        self._real_to_emu[real_ch.ident] = (endpoint, emu_ch)
+        return emu_ch
+
+    def close_channel(self, emu_channel: Channel) -> None:
+        real_ch = self._emu_to_real.pop(emu_channel.ident)
+        del self._real_to_emu[real_ch.ident]
+        emu_channel.open = False
+        real_ch.open = False
+        self.agent.ni.mux.unregister(real_ch)
+
+    # -- kernel send path ------------------------------------------------------
+    def _send_service(self, emu: Endpoint):
+        host = self.host
+        while not emu.destroyed:
+            yield emu.send_queue.wait_nonempty()
+            if emu.destroyed:
+                return
+            desc = emu.send_queue.pop()
+            if desc is None:
+                continue
+            real_ch = self._emu_to_real.get(desc.channel)
+            if real_ch is None or not real_ch.open:
+                self.unmatched += 1
+                continue
+            # System call into the kernel, then copy user -> kernel.
+            yield from host.syscall()
+            if desc.inline is not None:
+                payload = desc.inline
+            else:
+                payload = b"".join(
+                    emu.segment.read(off, ln) for off, ln in desc.bufs
+                )
+            if len(payload) <= SINGLE_CELL_MAX:
+                fwd = SendDescriptor(channel=real_ch.ident, inline=payload)
+                yield from self._post_real(fwd)
+            else:
+                offset = self.real.segment.alloc(len(payload))
+                yield from host.copy(len(payload))
+                self.real.segment.write(offset, payload)
+                fwd = SendDescriptor(
+                    channel=real_ch.ident, bufs=((offset, len(payload)),)
+                )
+                yield from self._post_real(fwd)
+                yield self.real.wait_send_complete(fwd)
+                self.real.segment.free(offset, len(payload))
+            desc.injected = True
+            if desc.completion is not None and not desc.completion.triggered:
+                desc.completion.succeed()
+            emu.messages_sent += 1
+            self.forwarded_out += 1
+
+    def _post_real(self, descriptor: SendDescriptor):
+        while not self.real.post_send(descriptor, KERNEL_OWNER):
+            yield self.real.send_queue.wait_space()
+
+    # -- kernel receive path -----------------------------------------------------
+    def _recv_service(self):
+        host = self.host
+        while True:
+            yield self.real.recv_queue.wait_nonempty()
+            desc = self.real.recv_poll(KERNEL_OWNER)
+            if desc is None:
+                continue
+            target = self._real_to_emu.get(desc.channel)
+            if target is None:
+                self.unmatched += 1
+                self._recycle(desc)
+                continue
+            emu, emu_ch = target
+            # Kernel -> user crossing and copy into the user's segment.
+            yield from host.syscall()
+            if desc.is_inline:
+                payload = desc.inline
+            else:
+                payload = b"".join(
+                    self.real.segment.read(off, used) for off, used in desc.bufs
+                )
+            if len(payload) <= SINGLE_CELL_MAX:
+                emu.deliver(
+                    RecvDescriptor(
+                        channel=emu_ch.ident, length=len(payload), inline=payload
+                    )
+                )
+            else:
+                yield from host.copy(len(payload))
+                self._deliver_buffered(emu, emu_ch, payload)
+            self._recycle(desc)
+            self.forwarded_in += 1
+
+    def _deliver_buffered(self, emu: Endpoint, emu_ch: Channel, payload: bytes):
+        remaining, cursor, used, popped = len(payload), 0, [], []
+        while remaining > 0:
+            free = emu.free_queue.pop()
+            if free is None:
+                emu.no_buffer_drops += 1
+                for fd in popped:
+                    emu.free_queue.push(fd)
+                return
+            popped.append(free)
+            take = min(free.length, remaining)
+            emu.segment.write(free.offset, payload[cursor : cursor + take])
+            used.append((free.offset, take))
+            cursor += take
+            remaining -= take
+        ok = emu.deliver(
+            RecvDescriptor(channel=emu_ch.ident, length=len(payload), bufs=tuple(used))
+        )
+        if not ok:
+            for fd in popped:
+                emu.free_queue.push(fd)
+
+    def _recycle(self, desc: RecvDescriptor) -> None:
+        if not desc.is_inline:
+            for offset, _used in desc.bufs:
+                self.real.post_free(
+                    FreeDescriptor(offset, self.KERNEL_BUFFER), KERNEL_OWNER
+                )

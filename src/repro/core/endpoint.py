@@ -1,0 +1,175 @@
+"""Endpoints: an application's handle into the network (§3.1).
+
+An endpoint bundles a communication segment with send, receive, and
+free descriptor rings.  All application-facing operations verify the
+caller's identity against the owning process -- endpoints, segments and
+queues "are only accessible by the owning process" (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.descriptors import FreeDescriptor, RecvDescriptor, SendDescriptor
+from repro.core.errors import ProtectionError, UNetError
+from repro.core.queues import DescriptorRing
+from repro.core.segment import CommSegment
+from repro.sim import Event, Simulator
+
+
+@dataclass
+class Channel:
+    """A registered communication channel (§3.2).
+
+    Created only by the kernel agent after authentication; maps the
+    endpoint to the network tag (here: a transmit/receive VCI pair) and
+    records the peer for diagnostics.
+    """
+
+    ident: int
+    endpoint: "Endpoint"
+    tx_vci: int
+    rx_vci: int
+    peer_host: str
+    open: bool = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Channel {self.ident} ep={self.endpoint.name} "
+            f"tx_vci={self.tx_vci} rx_vci={self.rx_vci} peer={self.peer_host}>"
+        )
+
+
+class Endpoint:
+    """Communication segment + send/recv/free rings + upcall hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        owner: str,
+        segment_size: int = 64 * 1024,
+        send_ring: int = 64,
+        recv_ring: int = 64,
+        free_ring: int = 64,
+        emulated: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.owner = owner
+        self.emulated = emulated
+        self.segment = CommSegment(segment_size, owner=owner)
+        self.send_queue = DescriptorRing(sim, send_ring, name=f"{name}.sq")
+        self.recv_queue = DescriptorRing(sim, recv_ring, name=f"{name}.rq")
+        self.free_queue = DescriptorRing(sim, free_ring, name=f"{name}.fq")
+        self.channels: Dict[int, Channel] = {}
+        self.upcalls_enabled = True
+        self._upcall_pending = False
+        self._enable_waiters = []
+        # Delivery statistics (visible to the owner; §7.4 feedback).
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.receive_drops = 0  # recv ring full -> message dropped
+        self.no_buffer_drops = 0  # free queue empty -> message dropped
+        self.destroyed = False
+
+    # -- protection -----------------------------------------------------
+    def check_owner(self, caller: str) -> None:
+        if caller != self.owner:
+            raise ProtectionError(
+                f"process {caller!r} may not access endpoint {self.name!r} "
+                f"owned by {self.owner!r}"
+            )
+
+    def check_alive(self) -> None:
+        if self.destroyed:
+            raise UNetError(f"endpoint {self.name!r} has been destroyed")
+
+    # -- application-side operations -------------------------------------
+    def post_send(self, descriptor: SendDescriptor, caller: str) -> bool:
+        """Push a send descriptor; False signals back-pressure (§3.1)."""
+        self.check_owner(caller)
+        self.check_alive()
+        channel = self.channels.get(descriptor.channel)
+        if channel is None or not channel.open:
+            raise ProtectionError(
+                f"channel {descriptor.channel} is not registered on endpoint {self.name!r}"
+            )
+        for offset, length in descriptor.bufs:
+            self.segment.check_range(offset, length)
+        return self.send_queue.push(descriptor)
+
+    def post_free(self, free: FreeDescriptor, caller: str) -> bool:
+        """Hand a receive buffer to the NI via the free queue (§3.4)."""
+        self.check_owner(caller)
+        self.check_alive()
+        self.segment.check_range(free.offset, free.length)
+        return self.free_queue.push(free)
+
+    def recv_poll(self, caller: str) -> Optional[RecvDescriptor]:
+        """Poll the receive queue (the §3.1 polling model)."""
+        self.check_owner(caller)
+        self.check_alive()
+        return self.recv_queue.pop()
+
+    def recv_drain(self, caller: str):
+        """Consume every pending message in one go (single-upcall rule)."""
+        self.check_owner(caller)
+        self.check_alive()
+        return self.recv_queue.drain()
+
+    def wait_recv(self, caller: str) -> Event:
+        """Blocking wait for the receive queue to become non-empty
+        (the select()-style model of §3.1)."""
+        self.check_owner(caller)
+        self.check_alive()
+        return self.recv_queue.wait_nonempty()
+
+    def wait_send_complete(self, descriptor: SendDescriptor) -> Event:
+        """Event that fires once the NI marks the descriptor injected.
+
+        The NI triggers the descriptor's completion event when it sets
+        the injected flag (§3.1: "the associated send buffer can be
+        reused").
+        """
+        if descriptor.completion is None:
+            descriptor.completion = Event(self.sim)
+        if descriptor.injected and not descriptor.completion.triggered:
+            descriptor.completion.succeed()
+        return descriptor.completion
+
+    # -- upcall critical sections (§3.1) ----------------------------------
+    def disable_upcalls(self, caller: str) -> None:
+        self.check_owner(caller)
+        self.upcalls_enabled = False
+
+    def enable_upcalls(self, caller: str) -> None:
+        self.check_owner(caller)
+        self.upcalls_enabled = True
+        waiters, self._enable_waiters = self._enable_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_upcalls_enabled(self) -> Event:
+        event = Event(self.sim)
+        if self.upcalls_enabled:
+            event.succeed()
+        else:
+            self._enable_waiters.append(event)
+        return event
+
+    # -- NI-side delivery --------------------------------------------------
+    def deliver(self, descriptor: RecvDescriptor) -> bool:
+        """Used by the NI/mux to push a received message descriptor."""
+        self.check_alive()
+        ok = self.recv_queue.push(descriptor)
+        if ok:
+            self.messages_received += 1
+        else:
+            self.receive_drops += 1
+        return ok
+
+    def __repr__(self) -> str:
+        kind = "emulated" if self.emulated else "regular"
+        return f"<Endpoint {self.name} ({kind}) owner={self.owner}>"

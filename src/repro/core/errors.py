@@ -1,0 +1,31 @@
+"""Errors raised by the U-Net architecture layers."""
+
+from __future__ import annotations
+
+
+class UNetError(Exception):
+    """Base class for all U-Net architecture errors."""
+
+
+class ProtectionError(UNetError):
+    """A process touched an endpoint, segment, or channel it does not own,
+    or presented an unregistered tag.  (Paper §3.2: protection boundaries.)
+    """
+
+
+class ResourceLimitError(UNetError):
+    """Endpoint/segment creation exceeded kernel-enforced resource limits
+    (pinned memory, DMA space, NI memory -- paper §4.2.4)."""
+
+
+class ChannelError(UNetError):
+    """Channel setup/teardown failure (no route, authentication denied,
+    unknown destination)."""
+
+
+class SegmentRangeError(UNetError, IndexError):
+    """An access fell outside the communication segment or a buffer."""
+
+
+class QueueFullError(UNetError):
+    """A descriptor ring was full (back-pressure, paper §3.1)."""

@@ -1,0 +1,53 @@
+"""The message multiplex/demultiplex agent (§2.4, §3.2).
+
+The mux is the one component that must sit in the data path: on receive
+it maps the message tag (the ATM VCI here) to the destination endpoint
+and channel; on send it validates that the channel's tag was registered
+by the kernel.  Registration is kernel-only -- applications never touch
+the mux directly, which is what makes the protection model work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.endpoint import Channel
+from repro.core.errors import ChannelError
+
+
+class Mux:
+    """Per-NI tag table: rx VCI -> channel (and thus endpoint)."""
+
+    def __init__(self, name: str = "mux"):
+        self.name = name
+        self._by_rx_vci: Dict[int, Channel] = {}
+        self.unmatched = 0  # incoming messages with no registered tag
+
+    def register(self, channel: Channel) -> None:
+        """Kernel-only: install a channel's receive tag."""
+        if channel.rx_vci in self._by_rx_vci:
+            raise ChannelError(
+                f"rx VCI {channel.rx_vci} already registered on {self.name}"
+            )
+        self._by_rx_vci[channel.rx_vci] = channel
+
+    def unregister(self, channel: Channel) -> None:
+        existing = self._by_rx_vci.get(channel.rx_vci)
+        if existing is not channel:
+            raise ChannelError(
+                f"rx VCI {channel.rx_vci} is not registered to this channel"
+            )
+        del self._by_rx_vci[channel.rx_vci]
+
+    def demux(self, rx_vci: int) -> Optional[Channel]:
+        """Map an incoming tag to its channel; None counts as unmatched."""
+        channel = self._by_rx_vci.get(rx_vci)
+        if channel is None:
+            self.unmatched += 1
+        return channel
+
+    def __contains__(self, rx_vci: int) -> bool:
+        return rx_vci in self._by_rx_vci
+
+    def __len__(self) -> int:
+        return len(self._by_rx_vci)

@@ -1,0 +1,25 @@
+"""Network interface implementations (paper §4).
+
+* :class:`~repro.core.ni.sba200.Sba200UNet` -- the flagship: U-Net
+  firmware on the SBA-200's i960 coprocessor (§4.2).
+* :class:`~repro.core.ni.sba100.Sba100UNet` -- PIO interface with
+  kernel-emulated endpoints and software AAL5 CRC (§4.1).
+* :class:`~repro.core.ni.fore.ForeFirmwareNI` -- the vendor firmware
+  baseline the paper measured at ~160 us RTT (§4.2.1).
+"""
+
+from repro.core.ni.base import NetworkInterface
+from repro.core.ni.costs import ForeCosts, Sba100Costs, Sba200Costs
+from repro.core.ni.fore import ForeFirmwareNI
+from repro.core.ni.sba100 import Sba100UNet
+from repro.core.ni.sba200 import Sba200UNet
+
+__all__ = [
+    "ForeCosts",
+    "ForeFirmwareNI",
+    "NetworkInterface",
+    "Sba100Costs",
+    "Sba100UNet",
+    "Sba200Costs",
+    "Sba200UNet",
+]

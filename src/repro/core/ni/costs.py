@@ -1,0 +1,107 @@
+"""Cost tables for the NI models, calibrated against the paper.
+
+Every constant cites the measurement it is tuned to reproduce; the
+calibration tests in ``tests/core/test_calibration.py`` pin the derived
+end-to-end numbers (65 us single-cell RTT, ~6 us/cell increment,
+saturation near 800 bytes, Table 1's breakdown, the Fore firmware's
+160 us RTT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Sba200Costs:
+    """i960/host costs for the custom U-Net firmware (§4.2.2-§4.2.3).
+
+    Calibration targets: 65 us single-cell round trip; longer messages
+    start at ~120 us for 48 bytes plus ~6 us per additional cell; the
+    fiber saturates at packet sizes around 800 bytes (Figures 3 and 4).
+    """
+
+    #: Host: push one descriptor ("a double word store to the
+    #: i960-resident transmit queue").
+    host_post_send_us: float = 1.0
+    #: Host: notice and pop a receive descriptor when polling.
+    host_recv_us: float = 1.5
+    #: Host: push a descriptor onto the free queue.
+    host_post_free_us: float = 0.8
+    #: i960: notice a doorbell / poll the next send descriptor.
+    i960_tx_poll_us: float = 3.0
+    #: i960: single-cell send fast path (payload rides in the descriptor).
+    i960_tx_single_us: float = 5.0
+    #: i960: per-packet send processing for the buffer path (descriptor
+    #: fetch, DMA setup).
+    i960_tx_packet_us: float = 8.0
+    #: i960: per-cell send cost (32-byte DMA bursts fetch two cells).
+    i960_tx_per_cell_us: float = 0.5
+    #: i960: per-cell receive handling (poll input FIFO, move cell).
+    i960_rx_per_cell_us: float = 0.5
+    #: i960: single-cell receive fast path ("directly transferred into
+    #: the next receive queue entry").
+    i960_rx_single_us: float = 13.0
+    #: i960: multi-cell receive completion (pop free-queue buffers, DMA
+    #: payload, DMA the message descriptor into the receive queue).
+    i960_rx_packet_us: float = 33.0
+    #: Depth of the cell input FIFO (the SBA hardware had 292 cells).
+    input_fifo_cells: int = 292
+    #: Cells of transmit queue between i960 and fiber.
+    tx_queue_cells: int = 40
+
+
+@dataclass
+class Sba100Costs:
+    """Trap-level PIO costs for the SBA-100 (§4.1, Table 1).
+
+    Table 1 targets: one-way 33 us total = 21 us trap-level send+receive
+    across the switch + 7 us AAL5 send overhead + 5 us AAL5 receive
+    overhead; CRC is 33% of send and 40% of receive AAL5 overhead;
+    bandwidth limited to 6.8 MB/s at 1 KB packets.
+    """
+
+    #: Kernel fast trap to send one cell (28 instructions, §4.1),
+    #: including pushing the cell into the 36-deep output FIFO.
+    send_trap_us: float = 6.2
+    #: Kernel fast trap to receive one cell (43 instructions).
+    recv_trap_us: float = 6.0
+    #: AAL5 SAR library send processing per cell, excluding CRC.
+    aal5_send_per_cell_us: float = 4.7
+    #: AAL5 SAR library receive processing per cell, excluding CRC.
+    aal5_recv_per_cell_us: float = 3.0
+    #: Software CRC-32 (the card lacks AAL5 CRC hardware): us per byte.
+    #: 48 bytes * 0.048 = 2.3 us = 33% of the 7 us send overhead.
+    crc_us_per_byte: float = 0.048
+    #: Output FIFO depth in cells (hardware: 36).
+    output_fifo_cells: int = 36
+    #: Input FIFO depth in cells (hardware: 292).
+    input_fifo_cells: int = 292
+
+
+@dataclass
+class ForeCosts:
+    """The vendor's original firmware (§4.2.1).
+
+    Targets: ~160 us round trip and ~13 MB/s with 4 KB packets.  The
+    killer is the complexity of the kernel-firmware interface: the i960
+    traverses mbuf/streams-buf-style linked data structures on the host
+    via DMA.
+    """
+
+    #: Host-side send call into the (mapped) kernel-firmware interface.
+    host_send_us: float = 8.0
+    #: i960: walk the linked descriptor structures via DMA and start a send.
+    i960_tx_packet_us: float = 22.0
+    #: i960: per-cell transmit cost.
+    i960_tx_per_cell_us: float = 1.2
+    #: i960: receive a packet, build host buffer chains via DMA.
+    i960_rx_packet_us: float = 24.0
+    #: i960: per-cell receive cost (follows host-resident chains via DMA,
+    #: which is what makes per-cell receive exceed the wire time and caps
+    #: bandwidth at ~13 MB/s).
+    i960_rx_per_cell_us: float = 3.45
+    #: Host-side receive processing (buffer chain traversal).
+    host_recv_us: float = 10.0
+    input_fifo_cells: int = 292
+    tx_queue_cells: int = 40

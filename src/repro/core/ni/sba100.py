@@ -1,0 +1,114 @@
+"""U-Net on the Fore SBA-100: programmed I/O through kernel traps (§4.1).
+
+The SBA-100 has no on-board processor, no DMA, and no AAL5 CRC
+hardware, so the U-Net architecture runs *in the kernel*: hand-crafted
+fast traps send and receive individual cells, and a library performs
+AAL5 segmentation/reassembly -- including the CRC-32 in software, which
+is why 33%/40% of the send/receive AAL5 overheads are CRC (Table 1).
+
+All processing is charged to the *host* CPU (clock-scaled), unlike the
+SBA-200 model where the i960 does the work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.atm.aal5 import Reassembler, cells_for_pdu, segment_pdu
+from repro.atm.network import NetworkPort
+from repro.core.descriptors import SINGLE_CELL_MAX, SendDescriptor
+from repro.core.endpoint import Endpoint
+from repro.core.ni.base import NetworkInterface
+from repro.core.ni.costs import Sba100Costs
+from repro.host import Workstation
+from repro.sim import Tracer
+
+
+class Sba100UNet(NetworkInterface):
+    """Kernel-trap U-Net over the PIO-only SBA-100."""
+
+    def __init__(
+        self,
+        host: Workstation,
+        port: NetworkPort,
+        costs: Optional[Sba100Costs] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.costs = costs or Sba100Costs()
+        super().__init__(
+            host, port, input_fifo_cells=self.costs.input_fifo_cells, tracer=tracer
+        )
+        self.reassembler = Reassembler()
+        # The 36-cell output FIFO: the PIO loop blocks when it is full.
+        self.port.tx_link.set_queue_capacity(self.costs.output_fifo_cells)
+        self.send_errors = 0
+        self.pdus_sent = 0
+        self.pdus_received = 0
+        self.sim.process(self._rx_kernel(), name=f"{self.name}.rx")
+
+    def _per_cell_send_us(self) -> float:
+        return self.costs.aal5_send_per_cell_us + self.costs.crc_us_per_byte * 48
+
+    def _per_cell_recv_us(self) -> float:
+        return self.costs.aal5_recv_per_cell_us + self.costs.crc_us_per_byte * 48
+
+    def _on_attach(self, endpoint: Endpoint) -> None:
+        self.sim.process(
+            self._tx_kernel(endpoint), name=f"{self.name}.tx.{endpoint.name}"
+        )
+
+    def _tx_kernel(self, endpoint: Endpoint):
+        """Kernel send path: one fast trap per packet, then a PIO loop
+        pushing cells into the 36-deep output FIFO with software SAR+CRC."""
+        costs = self.costs
+        while not endpoint.destroyed:
+            yield endpoint.send_queue.wait_nonempty()
+            if endpoint.destroyed:
+                return
+            desc = endpoint.send_queue.pop()
+            if desc is None:
+                continue
+            channel = endpoint.channels.get(desc.channel)
+            if channel is None or not channel.open:
+                self.send_errors += 1
+                self.tracer.count(f"{self.name}.tx_badchannel")
+                continue
+            if desc.inline is not None:
+                payload = desc.inline
+            else:
+                payload = b"".join(
+                    endpoint.segment.read(off, length) for off, length in desc.bufs
+                )
+            yield from self.host.cpu.compute(costs.send_trap_us)
+            for cell in segment_pdu(payload, channel.tx_vci):
+                yield from self.host.cpu.compute(self._per_cell_send_us())
+                yield self.port.tx_link.put(cell)
+            desc.injected = True
+            if desc.completion is not None and not desc.completion.triggered:
+                desc.completion.succeed()
+            endpoint.messages_sent += 1
+            self.pdus_sent += 1
+
+    def _rx_kernel(self):
+        """Kernel receive path: a fast trap pops cells off the input FIFO
+        and the SAR library reassembles them (CRC in software)."""
+        costs = self.costs
+        while True:
+            cell = yield self.input_fifo.get()
+            yield from self.host.cpu.compute(self._per_cell_recv_us())
+            payload = self.reassembler.push(cell)
+            if payload is None:
+                if cell.last:
+                    self.tracer.count(f"{self.name}.rx_bad_pdu")
+                continue
+            yield from self.host.cpu.compute(costs.recv_trap_us)
+            channel = self.mux.demux(cell.vci)
+            if channel is None:
+                self.tracer.count(f"{self.name}.rx_unmatched")
+                continue
+            if len(payload) <= SINGLE_CELL_MAX and cells_for_pdu(len(payload)) == 1:
+                if self._deliver_inline(channel, payload):
+                    self.pdus_received += 1
+            else:
+                if self._deliver_buffered(channel, payload):
+                    self.pdus_received += 1

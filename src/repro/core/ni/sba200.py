@@ -1,0 +1,144 @@
+"""U-Net firmware on the Fore SBA-200's i960 coprocessor (§4.2.2).
+
+The i960 is modelled as a capacity-1 resource: transmit and receive
+firmware compete for it, just as on the real 25 MHz part.  Message data
+genuinely flows: send descriptors are gathered out of the communication
+segment, segmented into AAL5 cells, serialized onto the TAXI fiber,
+switched, reassembled (CRC-checked), and scattered into receive buffers
+popped off the destination endpoint's free queue.
+
+Fast paths from the paper:
+
+* single-cell sends are optimized (payload <= 40 bytes rides in the
+  descriptor, no buffer management);
+* single-cell receives go "directly into the next receive queue entry",
+  skipping the free queue;
+* multi-cell receives pull fixed-size buffers off the free queue and
+  DMA the descriptor in when the last cell arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.atm.aal5 import Reassembler, cells_for_pdu, segment_pdu
+from repro.atm.network import NetworkPort
+from repro.core.descriptors import SINGLE_CELL_MAX, SendDescriptor
+from repro.core.endpoint import Endpoint
+from repro.core.ni.base import NetworkInterface
+from repro.core.ni.costs import Sba200Costs
+from repro.host import Workstation
+from repro.sim import Resource, Tracer
+
+
+class Sba200UNet(NetworkInterface):
+    """Base-level U-Net on re-programmed SBA-200 firmware."""
+
+    def __init__(
+        self,
+        host: Workstation,
+        port: NetworkPort,
+        costs: Optional[Sba200Costs] = None,
+        tracer: Optional[Tracer] = None,
+        single_cell_optimization: bool = True,
+    ):
+        self.costs = costs or Sba200Costs()
+        super().__init__(
+            host, port, input_fifo_cells=self.costs.input_fifo_cells, tracer=tracer
+        )
+        #: The single on-board processor; TX and RX firmware share it.
+        self.i960 = Resource(self.sim, capacity=1, name=f"{self.name}.i960")
+        self.single_cell_optimization = single_cell_optimization
+        self.reassembler = Reassembler()
+        self.port.tx_link.set_queue_capacity(self.costs.tx_queue_cells)
+        self.send_errors = 0
+        self.pdus_sent = 0
+        self.pdus_received = 0
+        self.sim.process(self._rx_firmware(), name=f"{self.name}.rx")
+
+    # -- transmit ---------------------------------------------------------
+    def _on_attach(self, endpoint: Endpoint) -> None:
+        self.sim.process(
+            self._tx_firmware(endpoint), name=f"{self.name}.tx.{endpoint.name}"
+        )
+
+    def _gather(self, endpoint: Endpoint, desc: SendDescriptor) -> bytes:
+        if desc.inline is not None:
+            return desc.inline
+        parts = [endpoint.segment.read(off, length) for off, length in desc.bufs]
+        return b"".join(parts)
+
+    def _tx_firmware(self, endpoint: Endpoint):
+        """Service one endpoint's send queue (the i960 polls these
+        i960-resident queues without DMA, §4.2.2)."""
+        costs = self.costs
+        while not endpoint.destroyed:
+            yield endpoint.send_queue.wait_nonempty()
+            if endpoint.destroyed:
+                return
+            desc = endpoint.send_queue.pop()
+            if desc is None:
+                continue
+            channel = endpoint.channels.get(desc.channel)
+            if channel is None or not channel.open:
+                self.send_errors += 1
+                self.tracer.count(f"{self.name}.tx_badchannel")
+                continue
+            payload = self._gather(endpoint, desc)
+            n_cells = cells_for_pdu(len(payload))
+            single = (
+                self.single_cell_optimization
+                and n_cells == 1
+                and len(payload) <= SINGLE_CELL_MAX
+            )
+            if single:
+                cost = costs.i960_tx_poll_us + costs.i960_tx_single_us
+            else:
+                cost = (
+                    costs.i960_tx_poll_us
+                    + costs.i960_tx_packet_us
+                    + costs.i960_tx_per_cell_us * n_cells
+                )
+            yield from self.i960.use(cost)
+            cells = segment_pdu(payload, channel.tx_vci)
+            for cell in cells:
+                # Paced by the outbound cell queue: back-pressure
+                # propagates to the send ring when the fiber is busy.
+                yield self.port.tx_link.put(cell)
+            desc.injected = True
+            if desc.completion is not None and not desc.completion.triggered:
+                desc.completion.succeed()
+            endpoint.messages_sent += 1
+            self.pdus_sent += 1
+
+    # -- receive ------------------------------------------------------------
+    def _rx_firmware(self):
+        """The i960 polls the network input FIFO (§4.2.2)."""
+        costs = self.costs
+        while True:
+            cell = yield self.input_fifo.get()
+            yield from self.i960.use(costs.i960_rx_per_cell_us)
+            first_of_pdu = self.reassembler.pending_cells(cell.vci) == 0
+            payload = self.reassembler.push(cell)
+            if payload is None:
+                if cell.last:
+                    self.tracer.count(f"{self.name}.rx_bad_pdu")
+                continue
+            single = (
+                self.single_cell_optimization
+                and first_of_pdu
+                and cell.last
+                and len(payload) <= SINGLE_CELL_MAX
+            )
+            channel = self.mux.demux(cell.vci)
+            if channel is None:
+                self.tracer.count(f"{self.name}.rx_unmatched")
+                continue
+            if single:
+                yield from self.i960.use(costs.i960_rx_single_us)
+                if self._deliver_inline(channel, payload):
+                    self.pdus_received += 1
+            else:
+                yield from self.i960.use(costs.i960_rx_packet_us)
+                if self._deliver_buffered(channel, payload):
+                    self.pdus_received += 1

@@ -1,0 +1,94 @@
+"""Communication segments: the pinned memory regions that hold message data.
+
+Per §3.1/§3.4 a communication segment is a limited-size region of
+memory, pinned to physical pages and mapped into the NI's DMA space.
+Send-buffer management inside the segment is *entirely up to the
+process*; the architecture only requires buffers to lie within the
+segment and be aligned.  A simple first-fit allocator is provided as a
+convenience for applications, but raw offset access is the primitive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.errors import SegmentRangeError
+
+#: NI DMA alignment requirement for buffers (paper §3.4).
+BUFFER_ALIGNMENT = 8
+
+
+def align_up(value: int, alignment: int = BUFFER_ALIGNMENT) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class CommSegment:
+    """A bounded, pinned buffer region owned by one endpoint.
+
+    The segment stores real bytes: protocol layers above (UAM, UDP, TCP)
+    genuinely compose and parse their packets here.
+    """
+
+    def __init__(self, size: int, owner: str = ""):
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        self.size = size
+        self.owner = owner
+        self._mem = bytearray(size)
+        # First-fit free list of (offset, length), kept sorted and merged.
+        self._free: List[Tuple[int, int]] = [(0, size)]
+
+    # -- raw access ------------------------------------------------------
+    def check_range(self, offset: int, length: int) -> None:
+        if length < 0 or offset < 0 or offset + length > self.size:
+            raise SegmentRangeError(
+                f"range [{offset}, {offset}+{length}) outside segment of {self.size} bytes"
+            )
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.check_range(offset, len(data))
+        self._mem[offset : offset + len(data)] = data
+
+    def read(self, offset: int, length: int) -> bytes:
+        self.check_range(offset, length)
+        return bytes(self._mem[offset : offset + length])
+
+    # -- convenience allocator --------------------------------------------
+    def alloc(self, length: int) -> int:
+        """First-fit allocate an aligned buffer; returns its offset."""
+        if length <= 0:
+            raise ValueError("allocation length must be positive")
+        need = align_up(length)
+        for i, (off, avail) in enumerate(self._free):
+            if avail >= need:
+                if avail == need:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + need, avail - need)
+                return off
+        raise SegmentRangeError(
+            f"segment exhausted: cannot allocate {length} bytes "
+            f"({self.free_bytes} free, fragmented)"
+        )
+
+    def free(self, offset: int, length: int) -> None:
+        """Return a buffer to the free list (must match a prior alloc)."""
+        need = align_up(length)
+        self.check_range(offset, need)
+        self._free.append((offset, need))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for off, ln in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + ln)
+            elif merged and merged[-1][0] + merged[-1][1] > off:
+                raise SegmentRangeError(
+                    f"double free or overlapping free at offset {off}"
+                )
+            else:
+                merged.append((off, ln))
+        self._free = merged
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)

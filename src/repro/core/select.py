@@ -1,0 +1,55 @@
+"""Blocking multi-endpoint wait -- the §3.1 select() receive model.
+
+"The receive model supported by U-Net is either polling or event
+driven: the process can periodically check the status of the receive
+queue, it can block waiting for the next message to arrive (using a
+UNIX select call), or it can register an upcall."
+
+:func:`select_recv` blocks a process until at least one of its
+endpoints has a pending message (or the timeout expires), charging the
+select()-wakeup cost once -- a single kernel crossing no matter how
+many endpoints are watched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.api import UNetSession
+from repro.sim import AnyOf
+
+
+def select_recv(
+    sessions: Sequence[UNetSession],
+    timeout_us: Optional[float] = None,
+) -> "generator":
+    """Generator: wait until any session has a receivable message.
+
+    Returns the list of ready sessions (empty on timeout).  All sessions
+    must belong to the same process on the same host (as with select()
+    on a set of that process's file descriptors).
+    """
+    if not sessions:
+        raise ValueError("select_recv needs at least one session")
+    host = sessions[0].host
+    caller = sessions[0].caller
+    for session in sessions[1:]:
+        if session.host is not host:
+            raise ValueError("select_recv sessions must share one host")
+        if session.caller != caller:
+            raise ValueError("select_recv sessions must share one process")
+
+    def ready() -> List[UNetSession]:
+        return [s for s in sessions if not s.endpoint.recv_queue.is_empty]
+
+    sim = host.sim
+    hits = ready()
+    if not hits:
+        events = [s.endpoint.wait_recv(caller) for s in sessions]
+        if timeout_us is not None:
+            events.append(sim.timeout(timeout_us))
+        yield AnyOf(sim, events)
+        hits = ready()
+    # one kernel crossing to wake the blocked process
+    yield from host.compute(host.costs.select_wakeup_us)
+    return hits

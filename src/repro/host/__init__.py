@@ -1,0 +1,13 @@
+"""Workstation host models: CPU cost scaling, memory, kernel overheads.
+
+The paper's measurements were taken on 60 MHz SPARCstation-20s and
+50 MHz SPARCstation-10s under SunOS 4.1.3.  All software costs in this
+repository are expressed *at the 60 MHz reference clock* and scaled by
+each host's clock rate, so a cluster can mix SS-10s and SS-20s exactly
+as the testbed in §4.2 did.
+"""
+
+from repro.host.cpu import CpuModel, REFERENCE_MHZ
+from repro.host.machine import HostCosts, Workstation
+
+__all__ = ["CpuModel", "HostCosts", "REFERENCE_MHZ", "Workstation"]

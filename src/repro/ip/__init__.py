@@ -1,0 +1,48 @@
+"""TCP/UDP/IP over U-Net, plus the in-kernel BSD baseline (§7).
+
+The protocol *code* (headers, checksums, the TCP engine) is shared
+between the two environments, reflecting the paper's §7.2 point that
+TCP/IP's problems "usually lie in the particular implementations and
+their integration into the operating system and not with the protocols
+themselves":
+
+* :mod:`repro.ip.unet` -- user-level UDP and TCP over a U-Net channel
+  (one channel carries all IP traffic between two applications, §7.1).
+* :mod:`repro.ip.kernel` -- the SunOS-style kernel path: system calls,
+  mbuf chains (1 KB clusters + 112-byte small mbufs), bounded socket
+  buffers (52 KB), a device output queue that drops on overload, and
+  the vendor Fore driver/firmware -- over ATM or 10 Mbit/s Ethernet.
+* :mod:`repro.ip.tcp` -- one TCP engine with two integrations.
+"""
+
+from repro.ip.ethernet import ETHERNET_MTU, EthernetLan
+from repro.ip.headers import (
+    IP_HEADER_SIZE,
+    TCP_HEADER_SIZE,
+    UDP_HEADER_SIZE,
+    IpDatagram,
+    TcpSegment,
+    UdpPacket,
+)
+from repro.ip.kernel import KernelCosts, KernelStack
+from repro.ip.mbuf import MbufChain, mbuf_chain_for
+from repro.ip.tcp import TcpConfig, TcpConnection
+from repro.ip.unet import UnetIpStack
+
+__all__ = [
+    "ETHERNET_MTU",
+    "EthernetLan",
+    "IP_HEADER_SIZE",
+    "IpDatagram",
+    "KernelCosts",
+    "KernelStack",
+    "MbufChain",
+    "TCP_HEADER_SIZE",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpSegment",
+    "UDP_HEADER_SIZE",
+    "UdpPacket",
+    "UnetIpStack",
+    "mbuf_chain_for",
+]

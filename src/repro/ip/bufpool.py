@@ -1,0 +1,98 @@
+"""Reference-counted network buffers in the communication segment (§7.3).
+
+"Base-level U-Net provides a scatter-gather message mechanism to
+support efficient construction of network buffers.  The data blocks are
+allocated within the receive and transmit communication segments and a
+simple reference count mechanism added by the TCP and UDP support
+software allows them to be shared by several messages without the need
+for copy operations."
+
+A :class:`SegmentBufferPool` hands out :class:`RefBuffer` blocks inside
+a session's segment.  A reliable protocol pins a buffer (one reference
+for the in-flight descriptor, one for the retransmission queue) and the
+block is returned to the pool only when every reference drops -- so a
+retransmission re-posts the *same* buffer with no copy, which is
+exactly the optimization §2.3 says user-level buffer management makes
+possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import SendDescriptor, UNetSession
+from repro.core.errors import UNetError
+
+
+class RefBuffer:
+    """A pinned block in the communication segment with a refcount."""
+
+    def __init__(self, pool: "SegmentBufferPool", offset: int, capacity: int):
+        self.pool = pool
+        self.offset = offset
+        self.capacity = capacity
+        self.length = 0  # bytes currently valid
+        self.refs = 0
+
+    def incref(self) -> "RefBuffer":
+        if self.refs <= 0:
+            raise UNetError("incref on a released buffer")
+        self.refs += 1
+        return self
+
+    def decref(self) -> None:
+        if self.refs <= 0:
+            raise UNetError("decref below zero")
+        self.refs -= 1
+        if self.refs == 0:
+            self.pool._release(self)
+
+    def descriptor(self, channel: int) -> SendDescriptor:
+        """A send descriptor pointing at this buffer (no copy)."""
+        return SendDescriptor(channel=channel, bufs=((self.offset, self.length),))
+
+    def fill(self, session: UNetSession, data: bytes):
+        """Copy ``data`` into the buffer (the one unavoidable copy)."""
+        if len(data) > self.capacity:
+            raise UNetError(
+                f"data of {len(data)} bytes exceeds buffer capacity {self.capacity}"
+            )
+        self.length = len(data)
+        yield from session.write_segment(self.offset, data)
+
+    def peek(self, session: UNetSession) -> bytes:
+        return session.peek_segment(self.offset, self.length)
+
+
+class SegmentBufferPool:
+    """Fixed-size pool of reference-counted buffers in one segment."""
+
+    def __init__(self, session: UNetSession, count: int, size: int):
+        if count < 1 or size < 1:
+            raise ValueError("pool needs at least one buffer of positive size")
+        self.session = session
+        self.size = size
+        self._free: List[RefBuffer] = [
+            RefBuffer(self, session.alloc(size), size) for _ in range(count)
+        ]
+        self.total = count
+        self.acquires = 0
+        self.exhaustions = 0
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def try_acquire(self) -> Optional[RefBuffer]:
+        """Take a buffer with refcount 1, or None when exhausted."""
+        if not self._free:
+            self.exhaustions += 1
+            return None
+        buffer = self._free.pop()
+        buffer.refs = 1
+        buffer.length = 0
+        self.acquires += 1
+        return buffer
+
+    def _release(self, buffer: RefBuffer) -> None:
+        self._free.append(buffer)

@@ -1,0 +1,47 @@
+"""Discrete-event simulation engine underlying every substrate in this repo.
+
+The engine is a small, self-contained kernel in the style of SimPy:
+processes are Python generators that ``yield`` :class:`Event` objects
+(timeouts, bare events, other processes, or conditions) and are resumed
+when those events trigger.  Simulated time is a float measured in
+*microseconds* throughout the repository, matching the units the U-Net
+paper reports.
+
+Public surface:
+
+* :class:`Simulator` -- the event loop (``now``, ``run``, ``process``,
+  ``timeout``, ``event``).
+* :class:`Event`, :class:`Timeout`, :class:`Process` -- awaitable things.
+* :class:`AnyOf` / :class:`AllOf` -- condition events.
+* :class:`Store` -- FIFO channel with blocking ``get``/``put``.
+* :class:`Resource` -- counted resource with FIFO ``request``/``release``.
+* :class:`Tracer` -- structured event trace and counters.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import StatSeries, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "StatSeries",
+    "Store",
+    "Timeout",
+    "Tracer",
+]

@@ -1,0 +1,314 @@
+"""Core event loop: events, timeouts, processes, and condition events.
+
+Simulated time is a float in microseconds.  All scheduling is
+deterministic: events scheduled for the same instant fire in the order
+they were scheduled (a monotonically increasing sequence number breaks
+heap ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (double-trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called, and runs its callbacks when the simulator
+    pops it off the schedule.  Events may only trigger once.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None  # None = pending
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every waiting process.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` microseconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Initialize(Event):
+    """Internal event used to kick off a freshly created process."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, 0.0)
+
+
+class Process(Event):
+    """A running generator; doubles as the event of its own termination.
+
+    The generator yields :class:`Event` instances.  When the yielded
+    event triggers, the process resumes with the event's value (or the
+    exception, if the event failed).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._interrupting = True
+        event.callbacks.append(self._resume)
+        self.sim._schedule(event, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            # An interrupt can race with normal termination; it is void
+            # once the process has finished.
+            if getattr(event, "_interrupting", False):
+                event._defused = True
+            return
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                # Defuse: the waiting process handles the failure.
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+            try:
+                self._generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc2:
+                self.fail(exc2)
+            return
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            stub = Event(self.sim)
+            stub._ok = next_event._ok
+            stub._value = next_event._value
+            stub.callbacks.append(self._resume)
+            self.sim._schedule(stub, 0.0)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._count = 0
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self.events and self._ok is None:
+            self.succeed({})
+
+    def _satisfied(self, n_done: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied(self._count):
+            # Report only events that actually fired (were processed) by
+            # the time the condition was met.
+            self.succeed(
+                {
+                    e: e._value
+                    for e in self.events
+                    if (e.processed or e is event) and e._ok
+                }
+            )
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of ``events`` triggers."""
+
+    def _satisfied(self, n_done: int) -> bool:
+        return n_done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all of ``events`` have triggered."""
+
+    def _satisfied(self, n_done: int) -> bool:
+        return n_done == len(self.events)
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(10.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    10.0
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # -- event factories ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not getattr(event, "_defused", False):
+            # Nobody handled the failure: crash the simulation loudly.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until ({until}) lies in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,164 @@
+"""Blocking FIFO stores and counted resources for simulated processes."""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Store:
+    """A FIFO channel between processes.
+
+    ``put`` blocks while the store is at ``capacity``; ``get`` blocks while
+    it is empty.  Both return events to be yielded from a process.  The
+    non-blocking variants ``try_put``/``try_get`` never block and report
+    success explicitly; they are what NI hardware models use for queues
+    that *drop* on overflow instead of exerting back-pressure.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._drain_putters()
+        elif self._putters:
+            putter, item = self._putters.popleft()
+            putter.succeed()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (drop) when full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if self.items:
+            item = self.items.popleft()
+            self._drain_putters()
+            return item
+        if self._putters:
+            putter, item = self._putters.popleft()
+            putter.succeed()
+            return item
+        return None
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed()
+
+
+class Resource:
+    """A counted resource (CPU, DMA engine, bus) with FIFO queueing.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(cost)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: List[tuple] = []  # heap of (priority, seq, event)
+        self._seq = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Event:
+        """Request the resource; lower ``priority`` values are served
+        first (interrupt-level work preempts queued process-level work,
+        though never a holder mid-use)."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (priority, self._seq, event))
+        return event
+
+    def release(self, request: Event) -> None:
+        if not request.triggered:
+            # The request never got the resource; just remove it.
+            entries = [e for e in self._queue if e[2] is not request]
+            if len(entries) == len(self._queue):
+                raise SimulationError("releasing a request that was never made")
+            self._queue = entries
+            heapq.heapify(self._queue)
+            request.succeed()  # unblock any waiter, resource not held
+            return
+        if self._in_use <= 0:
+            raise SimulationError(f"release on idle resource {self.name!r}")
+        if self._queue:
+            _, _, event = heapq.heappop(self._queue)
+            event.succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float, priority: int = 0):
+        """Generator helper: hold the resource for ``duration``."""
+        request = self.request(priority)
+        yield request
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(request)

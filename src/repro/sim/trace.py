@@ -1,0 +1,107 @@
+"""Structured tracing and statistics collection for simulations."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class TraceRecord:
+    time: float
+    category: str
+    message: str
+    data: Optional[Dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.time:12.3f}us] {self.category:>12}: {self.message}{extra}"
+
+
+class Tracer:
+    """Collects trace records and named counters.
+
+    Tracing is off by default (``enabled=False``) so hot paths pay only a
+    boolean check; counters are always collected since they are cheap and
+    the benchmark harness relies on them (drops, retransmits, etc.).
+    """
+
+    def __init__(self, enabled: bool = False, categories: Optional[set] = None):
+        self.enabled = enabled
+        self.categories = categories
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+
+    def log(self, time: float, category: str, message: str, **data: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, message, data or None))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def __getitem__(self, counter_name: str) -> int:
+        return self.counters[counter_name]
+
+    def dump(self) -> str:
+        return "\n".join(str(r) for r in self.records)
+
+
+@dataclass
+class StatSeries:
+    """Accumulates samples and reports summary statistics."""
+
+    name: str = ""
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (len(self.samples) - 1))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Tuple[float, float, float]:
+        """(min, mean, max)."""
+        return (self.minimum, self.mean, self.maximum)

@@ -1,0 +1,37 @@
+"""Split-C runtime and the seven §6 application benchmarks.
+
+Split-C programs are one thread of control per processor interacting
+through reads/writes on global pointers; dereferencing a global pointer
+becomes an Active Messages request/reply exchange, and bulk transfers
+map onto AM bulk stores/gets (§6).
+
+Two transports implement the communication layer:
+
+* :class:`~repro.splitc.transport.ModelTransport` -- a LogP-style
+  machine model parameterized by Table 2 (CPU speed, per-message
+  overhead, round-trip latency, network bandwidth).  This is how the
+  CM-5 and Meiko CS-2 columns of Figure 5 are produced, and -- with the
+  U-Net ATM parameters -- the fast path for the ATM cluster column.
+* :class:`~repro.splitc.transport.UNetTransport` -- the real thing:
+  Split-C over U-Net Active Messages over the simulated ATM cluster.
+  Used to validate that the model transport agrees with the full stack.
+
+The applications compute on real data (numpy) while simulated time is
+charged from per-operation cost models, so results are verifiable and
+timings faithful.
+"""
+
+from repro.splitc.machines import ATM_CLUSTER, CM5, MEIKO_CS2, MachineSpec
+from repro.splitc.runtime import SplitC, SplitCTimings
+from repro.splitc.transport import ModelTransport, UNetTransport
+
+__all__ = [
+    "ATM_CLUSTER",
+    "CM5",
+    "MEIKO_CS2",
+    "MachineSpec",
+    "ModelTransport",
+    "SplitC",
+    "SplitCTimings",
+    "UNetTransport",
+]

@@ -1,0 +1,43 @@
+"""The seven Split-C benchmarks of §6 / Figure 5.
+
+Each app is a generator ``app(sc, **params)`` executed once per rank;
+it computes on real numpy data (results are verified against a serial
+ground truth) while charging modelled CM-5-node compute time, which the
+transport scales by the machine's CPU factor.
+
+* blocked matrix multiply,
+* sample sort (small-message) and sample sort (bulk),
+* radix sort (small-message) and radix sort (bulk),
+* connected components,
+* conjugate gradient.
+"""
+
+from repro.splitc.apps.cg import conjugate_gradient
+from repro.splitc.apps.components import connected_components
+from repro.splitc.apps.costs import FLOP_US, KEY_OP_US, MEM_OP_US
+from repro.splitc.apps.matmul import blocked_matmul
+from repro.splitc.apps.radix_sort import radix_sort
+from repro.splitc.apps.sample_sort import sample_sort
+
+#: Figure 5's benchmark suite: (label, app, params)
+FIGURE5_SUITE = [
+    ("matmul", blocked_matmul, {}),
+    ("sample sort (small msg)", sample_sort, {"bulk": False}),
+    ("sample sort (bulk)", sample_sort, {"bulk": True}),
+    ("radix sort (small msg)", radix_sort, {"bulk": False}),
+    ("radix sort (bulk)", radix_sort, {"bulk": True}),
+    ("connected components", connected_components, {}),
+    ("conjugate gradient", conjugate_gradient, {}),
+]
+
+__all__ = [
+    "FIGURE5_SUITE",
+    "FLOP_US",
+    "KEY_OP_US",
+    "MEM_OP_US",
+    "blocked_matmul",
+    "conjugate_gradient",
+    "connected_components",
+    "radix_sort",
+    "sample_sort",
+]

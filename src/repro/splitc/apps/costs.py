@@ -1,0 +1,16 @@
+"""Local computation cost constants, in CM-5-node microseconds.
+
+The 33 MHz Sparc-2 CM-5 node (no vector units used here) sustains
+roughly 4 MFLOPS on dense kernels and ~10M simple integer/memory
+operations per second.  The transport divides by each machine's
+``cpu_factor``, so a SuperSPARC ATM-cluster node runs the same work
+~3.2x faster -- which is exactly the CPU edge Figure 5 shows for the
+ATM cluster and Meiko over the CM-5.
+"""
+
+#: one double-precision floating-point operation
+FLOP_US = 0.25
+#: one sort-kernel inner-loop operation (compare/move of a key)
+KEY_OP_US = 0.12
+#: one simple memory/integer operation
+MEM_OP_US = 0.08

@@ -1,0 +1,91 @@
+"""Blocked matrix multiply (§6): "matrices of 4 by 4 blocks ... The main
+loop multiplies two blocks while it prefetches the two blocks needed in
+the next iteration."
+
+Blocks are distributed round-robin over the ranks.  For each owned C
+block the rank walks k, fetching A[i,k] and B[k,j] with bulk gets --
+issuing the *next* iteration's gets before multiplying, exactly the
+prefetch structure of the paper -- and charges 2*b^3 flops per block
+multiply.  This is bandwidth- and CPU-bound: the CM-5 loses on both
+(Figure 5's matmul bars).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.splitc.apps.costs import FLOP_US
+
+
+def _owner(bi: int, bj: int, n_blocks: int, nprocs: int) -> int:
+    return (bi * n_blocks + bj) % nprocs
+
+
+def blocked_matmul(sc, n_blocks: int = 4, block: int = 48, seed: int = 7):
+    """Returns {'verified': bool}; C is checked against numpy."""
+    nprocs = sc.nprocs
+    rank = sc.rank
+    rng = np.random.default_rng(seed)  # same seed: same global matrices
+    n = n_blocks * block
+    full_a = rng.standard_normal((n, n))
+    full_b = rng.standard_normal((n, n))
+
+    def block_of(m, bi, bj):
+        return m[bi * block : (bi + 1) * block, bj * block : (bj + 1) * block]
+
+    # Each rank owns the blocks assigned to it, stored in one flat array
+    # per matrix: slot s holds the s-th owned block.
+    owned = [
+        (bi, bj)
+        for bi in range(n_blocks)
+        for bj in range(n_blocks)
+        if _owner(bi, bj, n_blocks, nprocs) == rank
+    ]
+    slots = {pair: i for i, pair in enumerate(owned)}
+    a = sc.alloc("A", (max(1, len(owned)), block, block))
+    b = sc.alloc("B", (max(1, len(owned)), block, block))
+    c = sc.alloc("C", (max(1, len(owned)), block, block))
+    for s, (bi, bj) in enumerate(owned):
+        a[s] = block_of(full_a, bi, bj)
+        b[s] = block_of(full_b, bi, bj)
+    yield from sc.barrier()
+
+    block_elems = block * block
+
+    def fetch(name, bi, bj):
+        owner = _owner(bi, bj, n_blocks, nprocs)
+        slot = ((bi * n_blocks + bj) - owner) // nprocs
+        # owned blocks are laid out in row-major owned order; compute the
+        # slot index the same way the owner did
+        idx = sum(
+            1
+            for pi in range(n_blocks)
+            for pj in range(n_blocks)
+            if _owner(pi, pj, n_blocks, nprocs) == owner
+            and (pi, pj) < (bi, bj)
+        )
+        data = yield from sc.get_bulk(owner, name, idx * block_elems, block_elems)
+        return data.reshape(block, block)
+
+    for s, (bi, bj) in enumerate(owned):
+        acc = np.zeros((block, block))
+        # prefetch the k=0 operands
+        next_a = yield from fetch("A", bi, 0)
+        next_b = yield from fetch("B", 0, bj)
+        for k in range(n_blocks):
+            cur_a, cur_b = next_a, next_b
+            if k + 1 < n_blocks:
+                # prefetch next iteration's blocks before multiplying
+                next_a = yield from fetch("A", bi, k + 1)
+                next_b = yield from fetch("B", k + 1, bj)
+            acc += cur_a @ cur_b
+            yield from sc.compute(2.0 * block * block * block * FLOP_US)
+        c[s] = acc
+    yield from sc.barrier()
+
+    # verification against the serial product
+    expected = full_a @ full_b
+    verified = all(
+        np.allclose(c[s], block_of(expected, bi, bj)) for s, (bi, bj) in enumerate(owned)
+    )
+    return {"verified": bool(verified)}

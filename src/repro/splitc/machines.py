@@ -1,0 +1,67 @@
+"""Machine models -- Table 2 of the paper.
+
+| Machine    | CPU                | overhead | round-trip | bandwidth |
+|------------|--------------------|----------|------------|-----------|
+| CM-5       | 33 MHz Sparc-2     | 3 us     | 12 us      | 10 MB/s   |
+| Meiko CS-2 | 40 MHz SuperSparc  | 11 us    | 25 us      | 39 MB/s   |
+| U-Net ATM  | 50/60 MHz SuperSparc | 6 us   | 71 us      | 14 MB/s   |
+
+``cpu_factor`` is local-computation speed relative to the CM-5's
+Sparc-2 (a SuperSPARC retires roughly twice the work per cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    name: str
+    #: local computation speed relative to the CM-5 node
+    cpu_factor: float
+    #: per-message send/receive processing overhead (us)
+    overhead_us: float
+    #: small-message round-trip latency (us)
+    round_trip_us: float
+    #: bulk network bandwidth (bytes/sec)
+    bandwidth_bps: float
+
+    @property
+    def one_way_wire_us(self) -> float:
+        """Network one-way latency excluding the two endpoint overheads."""
+        return max(1.0, (self.round_trip_us - 2 * self.overhead_us) / 2)
+
+    def compute_us(self, cm5_us: float) -> float:
+        """Convert CM-5-node compute time into this machine's time."""
+        return cm5_us / self.cpu_factor
+
+    def bulk_wire_us(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth_bps * 1e6
+
+
+CM5 = MachineSpec(
+    name="CM-5",
+    cpu_factor=1.0,  # 33 MHz Sparc-2
+    overhead_us=3.0,
+    round_trip_us=12.0,
+    bandwidth_bps=10e6,
+)
+
+MEIKO_CS2 = MachineSpec(
+    name="Meiko CS-2",
+    cpu_factor=2.4,  # 40 MHz SuperSparc
+    overhead_us=11.0,
+    round_trip_us=25.0,
+    bandwidth_bps=39e6,
+)
+
+ATM_CLUSTER = MachineSpec(
+    name="U-Net ATM",
+    cpu_factor=3.2,  # 50/60 MHz SuperSparc mix
+    overhead_us=6.0,
+    round_trip_us=71.0,
+    bandwidth_bps=14e6,
+)
+
+ALL_MACHINES = (CM5, ATM_CLUSTER, MEIKO_CS2)

@@ -1,0 +1,336 @@
+"""UAM behaviour tests: request/reply, bulk ops, rules, flow control."""
+
+import pytest
+
+from repro.am import UAM, UamConfig, UamError
+from repro.core import UNetCluster
+from repro.sim import Simulator
+
+
+def build(window=8, **uam_kwargs):
+    sim = Simulator()
+    cluster = UNetCluster.pair(sim)
+    kwargs = dict(segment_size=512 * 1024, send_ring=128, recv_ring=128, free_ring=128)
+    sa = cluster.open_session("alice", "pa", **kwargs)
+    sb = cluster.open_session("bob", "pb", **kwargs)
+    ch_a, ch_b = cluster.connect_sessions(sa, sb)
+    cfg = UamConfig(window=window, **uam_kwargs)
+    return sim, cluster, UAM(sa, cfg), UAM(sb, cfg), ch_a, ch_b
+
+
+def serve(uam, stop):
+    while not stop.get("done"):
+        yield from uam.poll_wait(timeout_us=500.0)
+
+
+def run_exchange(sim, *gens, until=1e8):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=until)
+    return procs
+
+
+class TestRequestReply:
+    def test_roundtrip_payload(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        stop, got = {}, {}
+
+        def echo(uam, ch, msg):
+            yield from uam.reply(2, msg.payload.upper())
+
+        def done(uam, ch, msg):
+            got["reply"] = msg.payload
+            return
+            yield
+
+        ub.register_handler(1, echo)
+        ua.register_handler(2, done)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.request(ch_a.ident, 1, b"hello")
+            while "reply" not in got:
+                yield from ua.poll_wait()
+            stop["done"] = True
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert got["reply"] == b"HELLO"
+
+    def test_handler_receives_channel_and_args(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        stop, seen = {}, {}
+
+        def handler(uam, ch, msg):
+            seen["channel"] = ch
+            seen["handler_index"] = msg.handler
+            stop["done"] = True
+            return
+            yield
+
+        ub.register_handler(7, handler)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.request(ch_a.ident, 7, b"\x01\x02\x03\x04" * 4)
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert seen["channel"] == ch_b.ident
+        assert seen["handler_index"] == 7
+
+    def test_oversized_request_rejected(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            with pytest.raises(UamError, match="payload"):
+                yield from ua.request(ch_a.ident, 1, bytes(37))
+
+        run_exchange(sim, client())
+
+    def test_unknown_channel_rejected(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+
+        def client():
+            with pytest.raises(UamError, match="not open"):
+                yield from ua.request(99, 1, b"")
+
+        run_exchange(sim, client())
+
+    def test_missing_handler_raises(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.request(ch_a.ident, 42, b"")
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from ub.poll_wait(timeout_us=5000.0)
+
+        p1 = sim.process(client())
+        p2 = sim.process(server())
+        with pytest.raises(UamError, match="no handler"):
+            sim.run(until=1e8)
+
+
+class TestReplyRules:
+    def test_reply_outside_handler_rejected(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            with pytest.raises(UamError, match="inside a handler"):
+                yield from ua.reply(1, b"")
+
+        run_exchange(sim, client())
+
+    def test_reply_handler_cannot_reply(self):
+        """§5: 'in order to prevent live-lock, a reply message handler
+        cannot send another reply'."""
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        stop, errors = {}, []
+
+        def echo(uam, ch, msg):
+            yield from uam.reply(2, msg.payload)
+
+        def reply_replier(uam, ch, msg):
+            try:
+                yield from uam.reply(2, b"again")
+            except UamError as exc:
+                errors.append(exc)
+            stop["done"] = True
+
+        ub.register_handler(1, echo)
+        ua.register_handler(2, reply_replier)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.request(ch_a.ident, 1, b"x")
+            while not stop.get("done"):
+                yield from ua.poll_wait()
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert len(errors) == 1
+
+    def test_request_inside_handler_rejected(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        stop, errors = {}, []
+
+        def bad_handler(uam, ch, msg):
+            try:
+                yield from uam.request(ch, 1, b"")
+            except UamError as exc:
+                errors.append(exc)
+            stop["done"] = True
+
+        ub.register_handler(1, bad_handler)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.request(ch_a.ident, 1, b"x")
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert len(errors) == 1
+
+
+class TestBulk:
+    def test_store_writes_remote_memory(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        data = bytes(i % 256 for i in range(10_000))
+        stop = {}
+
+        def done(uam, ch, msg):
+            stop["done"] = True
+            return
+            yield
+
+        ub.register_handler(3, done)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.store(ch_a.ident, data, remote_addr=2048, handler=3)
+            while not stop.get("done"):
+                yield from ua.poll_wait()
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert bytes(ub.memory[2048 : 2048 + len(data)]) == data
+
+    def test_get_reads_remote_memory(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        data = bytes((i * 3) % 256 for i in range(9_000))
+        stop = {}
+
+        def done(uam, ch, msg):
+            stop["done"] = True
+            return
+            yield
+
+        ua.register_handler(4, done)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.get(
+                ch_a.ident, remote_addr=512, local_addr=4096,
+                length=len(data), handler=4,
+            )
+            while not stop.get("done"):
+                yield from ua.poll_wait()
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            ub.memory[512 : 512 + len(data)] = data
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert bytes(ua.memory[4096 : 4096 + len(data)]) == data
+
+    def test_zero_length_store_completes(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        stop = {}
+
+        def done(uam, ch, msg):
+            stop["done"] = True
+            return
+            yield
+
+        ub.register_handler(3, done)
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.store(ch_a.ident, b"", remote_addr=0, handler=3)
+            while not stop.get("done"):
+                yield from ua.poll_wait()
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert stop["done"]
+
+    def test_store_out_of_memory_range_dropped(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        stop = {}
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            yield from ua.store(
+                ch_a.ident, bytes(100),
+                remote_addr=len(ub.memory) - 10, handler=0,
+            )
+            yield from ua.poll_wait(timeout_us=2000.0)
+            stop["done"] = True
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert ub.memory_range_errors >= 1
+
+
+class TestFlowControl:
+    def test_window_limits_outstanding(self):
+        """The sender never has more than w unacknowledged messages."""
+        sim, cluster, ua, ub, ch_a, ch_b = build(window=4)
+        stop = {}
+        max_seen = {"n": 0}
+
+        def client():
+            yield from ua.open_channel(ch_a.ident)
+            peer = ua._peers[ch_a.ident]
+            data = bytes(50_000)
+            orig_emit = ua._emit
+
+            def spying_emit(p, *args, **kw):
+                max_seen["n"] = max(max_seen["n"], len(p.unacked) + 1)
+                return orig_emit(p, *args, **kw)
+
+            ua._emit = spying_emit
+            yield from ua.store(ch_a.ident, data, remote_addr=0)
+            stop["done"] = True
+
+        def server():
+            yield from ub.open_channel(ch_b.ident)
+            yield from serve(ub, stop)
+
+        run_exchange(sim, client(), server())
+        assert max_seen["n"] <= 4
+
+    def test_preallocated_buffers_match_4w(self):
+        """§5.1.1: 4w buffers per channel: w tx slots + 2w receive
+        buffers posted to the free queue (replies share the tx pool)."""
+        sim, cluster, ua, ub, ch_a, ch_b = build(window=8)
+
+        def client():
+            before = len(ua.session.endpoint.free_queue)
+            yield from ua.open_channel(ch_a.ident)
+            peer = ua._peers[ch_a.ident]
+            assert len(peer.tx_slots) == 8
+            assert len(ua.session.endpoint.free_queue) - before == 16
+
+        run_exchange(sim, client())
+
+    def test_window_must_fit_sequence_space(self):
+        sim, cluster, ua, ub, ch_a, ch_b = build()
+        with pytest.raises(UamError):
+            UAM(ua.session, UamConfig(window=128))

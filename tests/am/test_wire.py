@@ -1,0 +1,79 @@
+"""UAM wire-format tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.am import wire
+
+
+class TestEncodeDecode:
+    def test_request_roundtrip(self):
+        raw = wire.encode(wire.MSG_REQUEST, 5, 4, 9, b"hello")
+        msg = wire.decode(raw)
+        assert (msg.type, msg.seq, msg.ack, msg.handler) == (wire.MSG_REQUEST, 5, 4, 9)
+        assert msg.payload == b"hello"
+        assert msg.is_data
+
+    def test_ack_roundtrip(self):
+        msg = wire.decode(wire.encode(wire.MSG_ACK, 0, 77, 0))
+        assert msg.type == wire.MSG_ACK
+        assert msg.ack == 77
+        assert not msg.is_data
+
+    def test_xfer_roundtrip(self):
+        raw = wire.encode(
+            wire.MSG_XFER, 1, 2, 3, b"chunk", base=1000, offset=500, total=9999
+        )
+        msg = wire.decode(raw)
+        assert (msg.base, msg.offset, msg.total) == (1000, 500, 9999)
+        assert msg.payload == b"chunk"
+
+    @given(
+        st.sampled_from(sorted(wire.DATA_TYPES)),
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.binary(max_size=100),
+    )
+    def test_roundtrip_property(self, msg_type, seq, ack, handler, payload):
+        raw = wire.encode(msg_type, seq, ack, handler, payload)
+        msg = wire.decode(raw)
+        assert msg.type == msg_type
+        assert msg.seq == seq and msg.ack == ack and msg.handler == handler
+        assert msg.payload == payload
+
+    def test_short_message_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode(b"\x01\x02")
+
+    def test_short_bulk_header_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode(bytes([wire.MSG_XFER, 0, 0, 0]) + b"\x00\x00")
+
+    def test_sequence_wraparound(self):
+        raw = wire.encode(wire.MSG_REQUEST, 256 + 3, 257, 0, b"")
+        msg = wire.decode(raw)
+        assert msg.seq == 3 and msg.ack == 1
+
+
+class TestSingleCellFit:
+    def test_small_request_fits_one_cell(self):
+        """Header + 36 bytes = 40 bytes: a single-cell message."""
+        raw = wire.encode(wire.MSG_REQUEST, 0, 0, 0, bytes(wire.SMALL_PAYLOAD_MAX))
+        assert len(raw) == 40
+
+    def test_ack_is_single_cell(self):
+        assert len(wire.encode(wire.MSG_ACK, 0, 0, 0)) <= 40
+
+    def test_xfer_chunk_fits_buffer(self):
+        raw = wire.encode(wire.MSG_XFER, 0, 0, 0, bytes(wire.XFER_CHUNK), 0, 0, 1)
+        assert len(raw) == wire.XFER_BUFFER
+
+
+class TestSeqArithmetic:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 0, True), (0, 1, True), (1, 0, False), (250, 3, True), (3, 250, False)],
+    )
+    def test_seq_lte(self, a, b, expected):
+        assert wire.seq_lte(a, b) is expected

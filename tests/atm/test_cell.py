@@ -1,0 +1,37 @@
+"""ATM cell invariants."""
+
+import pytest
+
+from repro.atm.cell import ATM_CELL_SIZE, ATM_PAYLOAD_SIZE, Cell
+
+
+class TestCell:
+    def test_valid_cell(self):
+        cell = Cell(vci=100, payload=bytes(48))
+        assert cell.wire_bytes == ATM_CELL_SIZE == 53
+        assert not cell.last
+
+    def test_payload_must_be_48(self):
+        with pytest.raises(ValueError):
+            Cell(vci=1, payload=bytes(47))
+        with pytest.raises(ValueError):
+            Cell(vci=1, payload=bytes(49))
+
+    def test_vci_range(self):
+        with pytest.raises(ValueError):
+            Cell(vci=-1, payload=bytes(48))
+        with pytest.raises(ValueError):
+            Cell(vci=0x10000, payload=bytes(48))
+        Cell(vci=0xFFFF, payload=bytes(48))  # boundary OK
+
+    def test_with_vci_translation(self):
+        """Switch-side VCI relabelling keeps payload, last-bit, seq."""
+        original = Cell(vci=5, payload=bytes(range(48)), last=True, seq=3)
+        relabelled = original.with_vci(77)
+        assert relabelled.vci == 77
+        assert relabelled.payload == original.payload
+        assert relabelled.last and relabelled.seq == 3
+        assert original.vci == 5  # untouched
+
+    def test_payload_size_constant(self):
+        assert ATM_PAYLOAD_SIZE == 48

@@ -1,0 +1,124 @@
+"""Link serialization, propagation, loss, and queueing tests."""
+
+import pytest
+
+from repro.atm.cell import Cell
+from repro.atm.link import TAXI_140_BPS, Link
+from repro.sim import Simulator
+
+
+def make_cell(vci=1, last=False):
+    return Cell(vci=vci, payload=bytes(48), last=last)
+
+
+CELL_US = 53 * 8 / TAXI_140_BPS * 1e6  # ~3.03 us
+
+
+class TestLink:
+    def test_single_cell_timing(self):
+        sim = Simulator()
+        link = Link(sim, propagation_us=0.5)
+        arrivals = []
+        link.connect(lambda c: arrivals.append(sim.now))
+        link.send(make_cell())
+        sim.run()
+        assert arrivals == [pytest.approx(CELL_US + 0.5)]
+
+    def test_back_to_back_serialization(self):
+        """N cells take N serialization times: the link is a pipe, not a
+        teleporter."""
+        sim = Simulator()
+        link = Link(sim, propagation_us=0.0)
+        arrivals = []
+        link.connect(lambda c: arrivals.append(sim.now))
+        for _ in range(5):
+            link.send(make_cell())
+        sim.run()
+        assert arrivals == [pytest.approx(CELL_US * (i + 1)) for i in range(5)]
+
+    def test_bandwidth_scales(self):
+        sim = Simulator()
+        slow = Link(sim, bandwidth_bps=TAXI_140_BPS / 2, propagation_us=0.0)
+        arrivals = []
+        slow.connect(lambda c: arrivals.append(sim.now))
+        slow.send(make_cell())
+        sim.run()
+        assert arrivals == [pytest.approx(CELL_US * 2)]
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        link = Link(sim, queue_cells=2)
+        link.connect(lambda c: None)
+        sent = [link.send(make_cell()) for _ in range(5)]
+        # first goes to the pump quickly, but at t=0 all 5 are enqueued
+        assert sent.count(False) >= 1
+        assert link.cells_dropped >= 1
+
+    def test_blocking_put(self):
+        sim = Simulator()
+        link = Link(sim, queue_cells=1, propagation_us=0.0)
+        delivered = []
+        link.connect(lambda c: delivered.append(sim.now))
+
+        def producer():
+            for _ in range(3):
+                yield link.put(make_cell())
+            return sim.now
+
+        p = sim.process(producer())
+        sim.run()
+        assert len(delivered) == 3
+        assert p.value > 0.0  # producer was paced by the wire
+
+    def test_loss_function(self):
+        sim = Simulator()
+        dropped = {"n": 0}
+
+        def drop_every_other(cell):
+            dropped["n"] += 1
+            return dropped["n"] % 2 == 0
+
+        link = Link(sim, loss_fn=drop_every_other)
+        arrivals = []
+        link.connect(lambda c: arrivals.append(c))
+        for _ in range(6):
+            link.send(make_cell())
+        sim.run()
+        assert len(arrivals) == 3
+        assert link.cells_dropped == 3
+
+    def test_no_sink_raises(self):
+        sim = Simulator()
+        link = Link(sim)
+        link.send(make_cell())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim)
+        link.connect(lambda c: None)
+        for _ in range(4):
+            link.send(make_cell())
+        sim.run()
+        assert link.cells_sent == 4
+        assert link.bytes_sent == 4 * 53
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(sim, propagation_us=-1)
+        with pytest.raises(ValueError):
+            Link(sim).set_queue_capacity(0)
+
+    def test_order_preserved(self):
+        sim = Simulator()
+        link = Link(sim)
+        got = []
+        link.connect(lambda c: got.append(c.seq))
+        for i in range(10):
+            link.send(Cell(vci=1, payload=bytes(48), seq=i))
+        sim.run()
+        assert got == list(range(10))

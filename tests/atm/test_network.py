@@ -1,0 +1,97 @@
+"""Topology/signalling tests for the star network."""
+
+import pytest
+
+from repro.atm.aal5 import segment_pdu
+from repro.atm.network import FIRST_USER_VCI, AtmNetwork
+from repro.sim import Simulator
+
+
+class TestAttachment:
+    def test_attach_and_lookup(self):
+        sim = Simulator()
+        net = AtmNetwork(sim, n_ports=3)
+        port = net.attach("hostA")
+        assert net.port("hostA") is port
+        assert net.port_names == ["hostA"]
+
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        net = AtmNetwork(sim, n_ports=3)
+        net.attach("hostA")
+        with pytest.raises(ValueError):
+            net.attach("hostA")
+
+    def test_out_of_ports(self):
+        sim = Simulator()
+        net = AtmNetwork(sim, n_ports=1)
+        net.attach("a")
+        with pytest.raises(ValueError):
+            net.attach("b")
+
+
+class TestVirtualCircuits:
+    def _pair(self):
+        sim = Simulator()
+        net = AtmNetwork(sim, n_ports=2)
+        net.attach("a")
+        net.attach("b")
+        return sim, net
+
+    def test_vci_allocation_starts_above_reserved(self):
+        sim, net = self._pair()
+        pair = net.open_virtual_circuit("a", "b")
+        assert pair.tx >= FIRST_USER_VCI
+        assert pair.rx >= FIRST_USER_VCI
+        assert pair.tx != pair.rx
+
+    def test_full_duplex_delivery(self):
+        sim, net = self._pair()
+        pair = net.open_virtual_circuit("a", "b")
+        got = {"a": [], "b": []}
+        net.port("a").set_rx_sink(lambda c: got["a"].append(c.vci))
+        net.port("b").set_rx_sink(lambda c: got["b"].append(c.vci))
+        for cell in segment_pdu(b"to-b", pair.tx):
+            net.port("a").send_cell(cell)
+        for cell in segment_pdu(b"to-a", pair.rx):
+            net.port("b").send_cell(cell)
+        sim.run()
+        assert got["b"] == [pair.tx]
+        assert got["a"] == [pair.rx]
+
+    def test_self_connection_rejected(self):
+        sim, net = self._pair()
+        with pytest.raises(ValueError):
+            net.open_virtual_circuit("a", "a")
+
+    def test_close_removes_routes(self):
+        sim, net = self._pair()
+        pair = net.open_virtual_circuit("a", "b")
+        net.close_virtual_circuit("a", "b", pair)
+        got = []
+        net.port("b").set_rx_sink(lambda c: got.append(c))
+        for cell in segment_pdu(b"x", pair.tx):
+            net.port("a").send_cell(cell)
+        sim.run()
+        assert got == []
+        assert net.switch.cells_unrouted == 1
+
+    def test_reversed_pair(self):
+        sim, net = self._pair()
+        pair = net.open_virtual_circuit("a", "b")
+        rev = pair.reversed()
+        assert rev.tx == pair.rx and rev.rx == pair.tx
+
+    def test_distinct_circuits_get_distinct_vcis(self):
+        sim = Simulator()
+        net = AtmNetwork(sim, n_ports=3)
+        for n in "abc":
+            net.attach(n)
+        p1 = net.open_virtual_circuit("a", "b")
+        p2 = net.open_virtual_circuit("a", "c")
+        assert len({p1.tx, p1.rx, p2.tx, p2.rx}) == 4
+
+    def test_cell_time(self):
+        sim = Simulator()
+        net = AtmNetwork(sim, n_ports=2)
+        assert net.cell_time_us() == pytest.approx(53 * 8 / 140e6 * 1e6)

@@ -1,0 +1,121 @@
+"""Switch routing, VCI translation, and contention tests."""
+
+import pytest
+
+from repro.atm.cell import Cell
+from repro.atm.switch import Switch
+from repro.sim import Simulator
+
+
+def make_cell(vci, seq=0):
+    return Cell(vci=vci, payload=bytes(48), seq=seq)
+
+
+class TestRouting:
+    def test_route_and_translate(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=4)
+        sw.add_route(0, 100, 2, 200)
+        got = []
+        sw.output_links[2].connect(lambda c: got.append(c))
+        for p in (0, 1, 3):
+            if p != 2:
+                sw.output_links[p].connect(lambda c: got.append(("wrong", c)))
+        sw.input_sink(0)(make_cell(100))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].vci == 200
+
+    def test_unrouted_cell_counted(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=2)
+        for p in range(2):
+            sw.output_links[p].connect(lambda c: None)
+        sw.input_sink(0)(make_cell(999))
+        sim.run()
+        assert sw.cells_unrouted == 1
+        assert sw.cells_switched == 0
+
+    def test_same_vci_different_ports_independent(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=3)
+        sw.add_route(0, 50, 1, 60)
+        sw.add_route(1, 50, 2, 70)
+        got = {1: [], 2: []}
+        sw.output_links[1].connect(lambda c: got[1].append(c.vci))
+        sw.output_links[2].connect(lambda c: got[2].append(c.vci))
+        sw.output_links[0].connect(lambda c: None)
+        sw.input_sink(0)(make_cell(50))
+        sw.input_sink(1)(make_cell(50))
+        sim.run()
+        assert got[1] == [60]
+        assert got[2] == [70]
+
+    def test_duplicate_route_rejected(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=2)
+        sw.add_route(0, 1, 1, 2)
+        with pytest.raises(ValueError):
+            sw.add_route(0, 1, 1, 3)
+
+    def test_remove_route(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=2)
+        sw.add_route(0, 1, 1, 2)
+        assert sw.has_route(0, 1)
+        sw.remove_route(0, 1)
+        assert not sw.has_route(0, 1)
+
+    def test_port_validation(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=2)
+        with pytest.raises(ValueError):
+            sw.add_route(0, 1, 5, 2)
+        with pytest.raises(ValueError):
+            sw.input_sink(9)
+        with pytest.raises(ValueError):
+            Switch(sim, n_ports=0)
+
+
+class TestContention:
+    def test_output_contention_serializes(self):
+        """Two inputs feeding one output share its serialization."""
+        sim = Simulator()
+        sw = Switch(sim, n_ports=3, switching_latency_us=0.0, propagation_us=0.0)
+        sw.add_route(0, 10, 2, 10)
+        sw.add_route(1, 11, 2, 11)
+        arrivals = []
+        sw.output_links[2].connect(lambda c: arrivals.append(sim.now))
+        for p in (0, 1):
+            sw.output_links[p].connect(lambda c: None)
+        sw.input_sink(0)(make_cell(10))
+        sw.input_sink(1)(make_cell(11))
+        sim.run()
+        cell_us = 53 * 8 / 140e6 * 1e6
+        assert arrivals[0] == pytest.approx(cell_us)
+        assert arrivals[1] == pytest.approx(2 * cell_us)
+
+    def test_output_queue_overflow_drops(self):
+        sim = Simulator()
+        sw = Switch(
+            sim, n_ports=2, output_queue_cells=4, switching_latency_us=0.0
+        )
+        sw.output_links[1].connect(lambda c: None)
+        sw.output_links[0].connect(lambda c: None)
+        sw.add_route(0, 1, 1, 1)
+        for _ in range(50):
+            sw.input_sink(0)(make_cell(1))
+        sim.run()
+        assert sw.output_links[1].cells_dropped > 0
+
+    def test_switching_latency_applied(self):
+        sim = Simulator()
+        sw = Switch(sim, n_ports=2, switching_latency_us=10.0, propagation_us=0.0)
+        sw.add_route(0, 1, 1, 1)
+        arrivals = []
+        sw.output_links[1].connect(lambda c: arrivals.append(sim.now))
+        sw.output_links[0].connect(lambda c: None)
+        sw.input_sink(0)(make_cell(1))
+        sim.run()
+        cell_us = 53 * 8 / 140e6 * 1e6
+        assert arrivals == [pytest.approx(10.0 + cell_us)]

@@ -1,0 +1,58 @@
+"""Smoke and shape tests for the micro-benchmark helpers themselves."""
+
+import pytest
+
+from repro.bench import raw_bandwidth, raw_rtt
+from repro.bench.uam import uam_single_cell_rtt, uam_store_bandwidth
+
+
+class TestRawRtt:
+    def test_deterministic(self):
+        a = raw_rtt(32, n=4)
+        b = raw_rtt(32, n=4)
+        assert a.samples == b.samples
+
+    def test_steady_state(self):
+        """Deterministic simulation: every iteration identical."""
+        r = raw_rtt(32, n=5)
+        assert max(r.samples) - min(r.samples) < 0.01
+        assert r.min_us == pytest.approx(r.mean_us)
+
+    def test_size_recorded(self):
+        assert raw_rtt(100, n=3).size == 100
+
+    def test_all_ni_kinds(self):
+        for kind in ("sba200", "sba100", "fore", "direct"):
+            r = raw_rtt(16, n=3, ni_kind=kind)
+            assert r.mean_us > 0
+
+    def test_slower_hosts_slower_rtt(self):
+        """Clock scaling reaches end-to-end numbers (SS-10 vs SS-20)."""
+        fast = raw_rtt(32, n=3, mhz=60.0).mean_us
+        slow = raw_rtt(32, n=3, mhz=50.0).mean_us
+        assert slow > fast
+
+
+class TestRawBandwidth:
+    def test_lossless(self):
+        assert raw_bandwidth(1024).losses == 0
+
+    def test_message_count_scales_down_for_large(self):
+        big = raw_bandwidth(8000)
+        small = raw_bandwidth(100)
+        assert big.messages < small.messages
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            raw_bandwidth(0)
+
+
+class TestUamBenchHelpers:
+    def test_rtt_size_cap(self):
+        with pytest.raises(ValueError):
+            uam_single_cell_rtt(33)
+
+    def test_store_bandwidth_no_retransmissions(self):
+        r = uam_store_bandwidth(2048)
+        assert r.retransmissions == 0
+        assert r.bytes_per_second > 10e6

@@ -1,0 +1,145 @@
+"""Calibration tests: the simulated stack must reproduce the paper's
+headline measurements (shape and approximate magnitude).
+
+Tolerances are deliberately loose (typically 10-15%) -- the substrate is
+a simulator, not the authors' testbed -- but the *relationships* the
+paper emphasizes are asserted tightly (who is faster, where crossovers
+fall).
+"""
+
+import pytest
+
+from repro.atm.aal5 import aal5_limit_bandwidth
+from repro.bench import (
+    fore_interface_stats,
+    raw_bandwidth,
+    raw_rtt,
+    sba100_cost_breakup,
+)
+
+
+class TestSba200Latency:
+    def test_single_cell_rtt_is_65us(self):
+        """§4.2.3: 'The round-trip time is 65 us for a one-cell message'."""
+        r = raw_rtt(32, n=6)
+        assert r.mean_us == pytest.approx(65.0, rel=0.05)
+
+    def test_rtt_flat_up_to_40_bytes(self):
+        r0 = raw_rtt(0, n=4)
+        r40 = raw_rtt(40, n=4)
+        assert r40.mean_us - r0.mean_us < 5.0
+
+    def test_multicell_starts_near_120us(self):
+        """§4.2.3: 'Longer messages start at 120 us for 48 bytes'."""
+        r = raw_rtt(48, n=4)
+        assert r.mean_us == pytest.approx(120.0, rel=0.10)
+
+    def test_per_cell_increment_near_6us(self):
+        """§4.2.3: '...and cost roughly an extra 6 us per additional
+        cell (i.e., 48 bytes)'."""
+        r1 = raw_rtt(96, n=4)
+        r2 = raw_rtt(96 + 480, n=4)  # 10 more cells
+        per_cell = (r2.mean_us - r1.mean_us) / 10
+        assert per_cell == pytest.approx(6.0, rel=0.25)
+
+    def test_signal_adds_30us_per_end(self):
+        """§4.2.3: signals instead of polling add ~30 us on each end."""
+        poll = raw_rtt(32, n=4).mean_us
+        signal = raw_rtt(32, n=4, signal_wakeup=True).mean_us
+        assert signal - poll == pytest.approx(60.0, abs=6.0)
+
+    def test_single_cell_optimization_matters(self):
+        """Ablation: without the fast path, small messages pay the full
+        buffer-management cost."""
+        fast = raw_rtt(32, n=4).mean_us
+        slow = raw_rtt(32, n=4, single_cell_optimization=False).mean_us
+        assert slow > fast + 25.0
+
+
+class TestSba200Bandwidth:
+    def test_saturation_at_800_bytes(self):
+        """§4.2.3/Figure 4: 'with packet sizes as low as 800 bytes, the
+        fiber can be saturated'."""
+        bw = raw_bandwidth(800)
+        limit = aal5_limit_bandwidth(800, 140e6)
+        assert bw.bytes_per_second / limit > 0.95
+        assert bw.losses == 0
+
+    def test_below_saturation_at_200_bytes(self):
+        bw = raw_bandwidth(200)
+        limit = aal5_limit_bandwidth(200, 140e6)
+        assert bw.bytes_per_second / limit < 0.85
+
+    def test_bandwidth_monotone_through_ramp(self):
+        sizes = [100, 300, 500, 800]
+        rates = [raw_bandwidth(s).bytes_per_second for s in sizes]
+        assert rates == sorted(rates)
+
+    def test_4k_packets_near_fiber_limit(self):
+        """Table 3: Raw AAL5 at 4 KB ~ 120 Mbit/s."""
+        bw = raw_bandwidth(4096)
+        mbits = bw.bytes_per_second * 8 / 1e6
+        assert mbits > 110.0
+
+
+class TestSba100:
+    def test_table1_breakup(self):
+        """Table 1: 21 + 7 + 5 = 33 us one-way."""
+        t = sba100_cost_breakup()
+        assert t["trap_level_one_way_us"] == pytest.approx(21.0, rel=0.05)
+        assert t["send_overhead_aal5_us"] == pytest.approx(7.0, rel=0.05)
+        assert t["recv_overhead_aal5_us"] == pytest.approx(5.0, rel=0.10)
+        assert t["total_one_way_us"] == pytest.approx(33.0, rel=0.05)
+
+    def test_crc_fractions(self):
+        """§4.1: CRC is 33% of send and ~40% of receive AAL5 overhead."""
+        t = sba100_cost_breakup()
+        assert t["send_crc_fraction"] == pytest.approx(0.33, abs=0.03)
+        assert t["recv_crc_fraction"] == pytest.approx(0.40, abs=0.05)
+
+    def test_rtt_near_66us(self):
+        """§4.1: 'The end-to-end round trip time of a single-cell
+        message is 66 us.'"""
+        t = sba100_cost_breakup()
+        assert t["measured_rtt_us"] == pytest.approx(66.0, rel=0.10)
+
+    def test_bandwidth_limited_near_6_8MBps(self):
+        """§4.1: 'the bandwidth is limited to 6.8 MBytes/s for packets
+        of 1 KByte.'"""
+        t = sba100_cost_breakup()
+        assert t["measured_bw_1k_bytes_per_s"] == pytest.approx(6.8e6, rel=0.10)
+
+
+class TestForeFirmware:
+    def test_rtt_near_160us(self):
+        """§4.2.1: 'The measured round-trip time was approximately 160 us'."""
+        s = fore_interface_stats()
+        assert s["rtt_us"] == pytest.approx(160.0, rel=0.08)
+
+    def test_bandwidth_near_13MBps(self):
+        """§4.2.1: 'maximum bandwidth ... using 4 KByte packets was
+        13 Mbytes/sec'."""
+        s = fore_interface_stats()
+        assert s["bw_4k_bytes_per_s"] == pytest.approx(13e6, rel=0.12)
+
+    def test_unet_beats_fore_firmware_3x(self):
+        """§4.2.1: Fore's RTT is ~3x the SBA-100's 66 us and ~2.5x
+        U-Net's 65 us."""
+        fore = fore_interface_stats()["rtt_us"]
+        unet = raw_rtt(32, n=4).mean_us
+        assert fore / unet > 2.0
+
+
+class TestCrossImplementationShape:
+    def test_latency_ordering(self):
+        """U-Net/SBA-200 ~ SBA-100 << Fore firmware."""
+        sba200 = raw_rtt(32, n=4).mean_us
+        sba100 = raw_rtt(32, n=4, ni_kind="sba100").mean_us
+        fore = raw_rtt(32, n=4, ni_kind="fore").mean_us
+        assert sba200 < sba100 < fore
+
+    def test_bandwidth_ordering_at_1k(self):
+        """SBA-200 saturates; SBA-100 is PIO-bound; both documented."""
+        sba200 = raw_bandwidth(1024).bytes_per_second
+        sba100 = raw_bandwidth(1024, ni_kind="sba100").bytes_per_second
+        assert sba200 > 2 * sba100

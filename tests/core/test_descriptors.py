@@ -1,0 +1,65 @@
+"""Descriptor invariants, including the single-cell inline limit."""
+
+import pytest
+
+from repro.core.descriptors import (
+    SINGLE_CELL_MAX,
+    FreeDescriptor,
+    RecvDescriptor,
+    SendDescriptor,
+)
+
+
+class TestSendDescriptor:
+    def test_inline_length(self):
+        d = SendDescriptor(channel=1, inline=b"abcd")
+        assert d.length == 4
+        assert not d.injected
+
+    def test_scatter_gather_length(self):
+        d = SendDescriptor(channel=1, bufs=((0, 100), (200, 50)))
+        assert d.length == 150
+
+    def test_inline_limit_is_single_cell(self):
+        """40 bytes + 8-byte AAL5 trailer = exactly one cell."""
+        SendDescriptor(channel=1, inline=bytes(SINGLE_CELL_MAX))
+        with pytest.raises(ValueError):
+            SendDescriptor(channel=1, inline=bytes(SINGLE_CELL_MAX + 1))
+
+    def test_inline_and_bufs_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SendDescriptor(channel=1, inline=b"x", bufs=((0, 10),))
+
+    def test_bad_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            SendDescriptor(channel=1, bufs=((-1, 10),))
+        with pytest.raises(ValueError):
+            SendDescriptor(channel=1, bufs=((0, 0),))
+
+    def test_empty_inline_allowed(self):
+        assert SendDescriptor(channel=1, inline=b"").length == 0
+
+
+class TestRecvDescriptor:
+    def test_inline_flag(self):
+        assert RecvDescriptor(channel=1, length=4, inline=b"abcd").is_inline
+        assert not RecvDescriptor(channel=1, length=4, bufs=((0, 4),)).is_inline
+
+
+class TestFreeDescriptor:
+    def test_valid(self):
+        fd = FreeDescriptor(offset=0, length=4160)
+        assert fd.length == 4160
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FreeDescriptor(offset=-1, length=10)
+        with pytest.raises(ValueError):
+            FreeDescriptor(offset=0, length=0)
+
+
+class TestSingleCellConstant:
+    def test_value_matches_paper(self):
+        """§8: 'the round-trip latency for messages smaller than 40
+        bytes is about 65 usec' -- 40 bytes is the single-cell payload."""
+        assert SINGLE_CELL_MAX == 40

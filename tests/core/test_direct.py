@@ -1,0 +1,156 @@
+"""Direct-access U-Net (§3.6) extension tests."""
+
+import pytest
+
+from repro.core import SendDescriptor, UNetCluster
+from repro.core.direct import DirectSendDescriptor
+from repro.sim import Simulator
+
+from tests.core.conftest import run
+
+
+def build():
+    sim = Simulator()
+    cluster = UNetCluster.pair(sim, ni_kind="direct")
+    sa = cluster.open_session("alice", "pa", segment_size=128 * 1024)
+    sb = cluster.open_session("bob", "pb", segment_size=128 * 1024)
+    ch_a, ch_b = cluster.connect_sessions(sa, sb)
+    return sim, cluster, sa, sb, ch_a, ch_b
+
+
+class TestDirectDeposit:
+    def test_payload_lands_at_remote_offset(self):
+        sim, cluster, sa, sb, ch_a, ch_b = build()
+        payload = b"deposited-right-here" * 10
+        target = 10_000
+
+        def sender():
+            off = sa.alloc(len(payload))
+            yield from sa.write_segment(off, payload)
+            desc = DirectSendDescriptor(
+                channel=ch_a.ident, bufs=((off, len(payload)),),
+                remote_offset=target,
+            )
+            yield from sa.send(desc)
+
+        got = {}
+
+        def receiver():
+            desc = yield from sb.recv()
+            got["desc"] = desc
+
+        run(sim, sender(), receiver())
+        desc = got["desc"]
+        assert desc.bufs == ((target, len(payload)),)
+        # True zero copy: the data is already in place in the segment.
+        assert sb.endpoint.segment.read(target, len(payload)) == payload
+        assert cluster.hosts["bob"].ni.direct_deposits == 1
+
+    def test_no_free_buffers_needed(self):
+        """Direct deposits bypass the free queue entirely."""
+        sim, cluster, sa, sb, ch_a, ch_b = build()
+        payload = bytes(5000)  # would need 2 buffers on the base path
+
+        def sender():
+            off = sa.alloc(len(payload))
+            yield from sa.write_segment(off, payload)
+            yield from sa.send(
+                DirectSendDescriptor(
+                    channel=ch_a.ident, bufs=((off, len(payload)),),
+                    remote_offset=0,
+                )
+            )
+
+        got = {}
+
+        def receiver():
+            # note: provide_receive_buffers never called
+            desc = yield from sb.recv()
+            got["len"] = desc.length
+
+        run(sim, sender(), receiver())
+        assert got["len"] == 5000
+        assert sb.endpoint.no_buffer_drops == 0
+
+    def test_base_level_still_works(self):
+        """§3.6: direct-access is a strict superset of base-level."""
+        sim, cluster, sa, sb, ch_a, ch_b = build()
+        got = {}
+
+        def sender():
+            yield from sa.send(SendDescriptor(channel=ch_a.ident, inline=b"base"))
+            yield from sa.send_copy(ch_a.ident, bytes(2000))
+
+        def receiver():
+            yield from sb.provide_receive_buffers(4)
+            d1 = yield from sb.recv()
+            d2 = yield from sb.recv()
+            got["inline"] = d1.inline
+            got["len2"] = d2.length
+
+        run(sim, sender(), receiver())
+        assert got["inline"] == b"base"
+        assert got["len2"] == 2000
+
+
+class TestDirectProtection:
+    def test_out_of_segment_deposit_dropped(self):
+        """A deposit outside the destination segment must never write."""
+        sim, cluster, sa, sb, ch_a, ch_b = build()
+        payload = bytes(100)
+
+        def sender():
+            off = sa.alloc(len(payload))
+            yield from sa.write_segment(off, payload)
+            yield from sa.send(
+                DirectSendDescriptor(
+                    channel=ch_a.ident, bufs=((off, len(payload)),),
+                    remote_offset=sb.endpoint.segment.size - 10,  # overruns
+                )
+            )
+
+        run(sim, sender())
+        sim.run(until=1e9)
+        assert cluster.hosts["bob"].ni.direct_range_errors == 1
+        assert sb.endpoint.recv_poll("pb") is None
+
+    def test_negative_offset_rejected_at_source(self):
+        with pytest.raises(ValueError):
+            DirectSendDescriptor(channel=1, inline=b"x", remote_offset=-1)
+
+
+class TestDirectPerformance:
+    def test_direct_cheaper_than_buffered(self):
+        """Skipping buffer management beats the base-level receive path."""
+        sim, cluster, sa, sb, ch_a, ch_b = build()
+        payload = bytes(48)
+        times = {}
+
+        def sender():
+            off = sa.alloc(4096)
+            yield from sa.write_segment(off, payload)
+            t0 = sim.now
+            yield from sa.send(
+                DirectSendDescriptor(
+                    channel=ch_a.ident, bufs=((off, len(payload)),),
+                    remote_offset=0,
+                )
+            )
+            d = yield from sb_recv()
+            times["direct"] = sim.now - t0
+            t0 = sim.now
+            yield from sa.send(
+                SendDescriptor(channel=ch_a.ident, bufs=((off, len(payload)),))
+            )
+            d = yield from sb_recv()
+            times["base"] = sim.now - t0
+
+        def sb_recv():
+            desc = yield from sb.recv()
+            return desc
+
+        def prime():
+            yield from sb.provide_receive_buffers(4)
+
+        run(sim, prime(), sender())
+        assert times["direct"] < times["base"]

@@ -1,0 +1,144 @@
+"""Kernel agent: resource limits, channel setup, authentication."""
+
+import pytest
+
+from repro.core import (
+    ChannelError,
+    ProtectionError,
+    ResourceLimitError,
+    ResourceLimits,
+    UNetCluster,
+)
+from repro.sim import Simulator
+
+
+def make_cluster(limits=None):
+    sim = Simulator()
+    return sim, UNetCluster.pair(sim, limits=limits)
+
+
+class TestEndpointLimits:
+    def test_endpoint_count_limit(self):
+        sim, cluster = make_cluster(
+            ResourceLimits(max_endpoints=2, max_pinned_bytes=10**7)
+        )
+        agent = cluster.agent("alice")
+        agent.create_endpoint("p", segment_size=1024)
+        agent.create_endpoint("p", segment_size=1024)
+        with pytest.raises(ResourceLimitError, match="endpoint limit"):
+            agent.create_endpoint("p", segment_size=1024)
+
+    def test_pinned_memory_limit(self):
+        sim, cluster = make_cluster(
+            ResourceLimits(max_pinned_bytes=100 * 1024, max_segment_bytes=80 * 1024)
+        )
+        agent = cluster.agent("alice")
+        agent.create_endpoint("p", segment_size=64 * 1024)
+        with pytest.raises(ResourceLimitError, match="pin"):
+            agent.create_endpoint("p", segment_size=64 * 1024)
+
+    def test_segment_size_limit(self):
+        """Base-level U-Net bounds communication segment size (§3.3)."""
+        sim, cluster = make_cluster(ResourceLimits(max_segment_bytes=64 * 1024))
+        with pytest.raises(ResourceLimitError, match="segment"):
+            cluster.agent("alice").create_endpoint("p", segment_size=128 * 1024)
+
+    def test_ring_limit(self):
+        sim, cluster = make_cluster(ResourceLimits(max_ring_entries=64))
+        with pytest.raises(ResourceLimitError, match="ring"):
+            cluster.agent("alice").create_endpoint("p", send_ring=128)
+
+    def test_destroy_releases_pinned_memory(self):
+        sim, cluster = make_cluster(
+            ResourceLimits(max_pinned_bytes=100 * 1024, max_segment_bytes=80 * 1024)
+        )
+        agent = cluster.agent("alice")
+        ep = agent.create_endpoint("p", segment_size=64 * 1024)
+        agent.destroy_endpoint(ep, "p")
+        agent.create_endpoint("p", segment_size=64 * 1024)  # fits again
+
+    def test_destroy_requires_owner(self):
+        sim, cluster = make_cluster()
+        agent = cluster.agent("alice")
+        ep = agent.create_endpoint("p")
+        with pytest.raises(ProtectionError):
+            agent.destroy_endpoint(ep, "q")
+
+
+class TestChannelSetup:
+    def test_connect_installs_both_sides(self):
+        sim, cluster = make_cluster()
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        ch_a, ch_b = cluster.connect_sessions(sa, sb)
+        assert ch_a.tx_vci == ch_b.rx_vci
+        assert ch_a.rx_vci == ch_b.tx_vci
+        assert ch_a.peer_host == "bob"
+        assert ch_b.peer_host == "alice"
+        assert ch_a.ident in sa.endpoint.channels
+        assert ch_b.ident in sb.endpoint.channels
+
+    def test_unknown_service(self):
+        sim, cluster = make_cluster()
+        sa = cluster.open_session("alice", "pa")
+        with pytest.raises(ChannelError, match="unknown service"):
+            cluster.directory.connect(sa.endpoint, "ghost", "pa")
+
+    def test_advertise_requires_owner(self):
+        sim, cluster = make_cluster()
+        sa = cluster.open_session("alice", "pa")
+        with pytest.raises(ProtectionError):
+            cluster.directory.advertise("svc", sa.endpoint, "other")
+
+    def test_duplicate_service(self):
+        sim, cluster = make_cluster()
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        with pytest.raises(ChannelError):
+            cluster.directory.advertise("svc", sa.endpoint, "pa")
+
+    def test_disconnect_closes_both(self):
+        sim, cluster = make_cluster()
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        ch_a, ch_b = cluster.connect_sessions(sa, sb)
+        cluster.directory.disconnect(ch_a, "pa")
+        assert not ch_a.open
+        assert not ch_b.open
+        assert ch_a.rx_vci not in cluster.hosts["alice"].ni.mux
+        assert ch_b.rx_vci not in cluster.hosts["bob"].ni.mux
+
+
+class TestAuthentication:
+    def test_denied_by_local_policy(self):
+        sim = Simulator()
+        cluster = UNetCluster.pair(sim)
+        cluster.agent("alice").auth = lambda caller, local, peer: False
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        with pytest.raises(ProtectionError, match="denied"):
+            cluster.directory.connect(sa.endpoint, "svc", "pa")
+
+    def test_denied_by_remote_policy(self):
+        sim = Simulator()
+        cluster = UNetCluster.pair(sim)
+        cluster.agent("bob").auth = lambda caller, local, peer: False
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        with pytest.raises(ProtectionError, match="refused"):
+            cluster.directory.connect(sa.endpoint, "svc", "pa")
+
+    def test_no_routes_installed_when_denied(self):
+        sim = Simulator()
+        cluster = UNetCluster.pair(sim)
+        cluster.agent("alice").auth = lambda *a: False
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        before = len(cluster.hosts["bob"].ni.mux)
+        with pytest.raises(ProtectionError):
+            cluster.directory.connect(sa.endpoint, "svc", "pa")
+        assert len(cluster.hosts["bob"].ni.mux) == before

@@ -1,0 +1,56 @@
+"""Mux registration and demultiplexing."""
+
+import pytest
+
+from repro.core import ChannelError, Mux
+from repro.core.endpoint import Channel, Endpoint
+from repro.sim import Simulator
+
+
+def make_channel(rx_vci=40, ident=1):
+    ep = Endpoint(Simulator(), name="ep", owner="me", segment_size=1024)
+    return Channel(ident=ident, endpoint=ep, tx_vci=39, rx_vci=rx_vci, peer_host="p")
+
+
+class TestMux:
+    def test_register_and_demux(self):
+        mux = Mux()
+        ch = make_channel(rx_vci=50)
+        mux.register(ch)
+        assert mux.demux(50) is ch
+        assert 50 in mux
+        assert len(mux) == 1
+
+    def test_unknown_tag_counts_unmatched(self):
+        mux = Mux()
+        assert mux.demux(99) is None
+        assert mux.unmatched == 1
+
+    def test_duplicate_tag_rejected(self):
+        mux = Mux()
+        mux.register(make_channel(rx_vci=50))
+        with pytest.raises(ChannelError):
+            mux.register(make_channel(rx_vci=50, ident=2))
+
+    def test_unregister(self):
+        mux = Mux()
+        ch = make_channel(rx_vci=50)
+        mux.register(ch)
+        mux.unregister(ch)
+        assert mux.demux(50) is None
+
+    def test_unregister_wrong_channel(self):
+        mux = Mux()
+        ch = make_channel(rx_vci=50)
+        mux.register(ch)
+        impostor = make_channel(rx_vci=50, ident=7)
+        with pytest.raises(ChannelError):
+            mux.unregister(impostor)
+
+    def test_multiple_channels(self):
+        mux = Mux()
+        channels = [make_channel(rx_vci=40 + i, ident=i) for i in range(5)]
+        for ch in channels:
+            mux.register(ch)
+        for i, ch in enumerate(channels):
+            assert mux.demux(40 + i) is ch

@@ -1,0 +1,120 @@
+"""Protection-model tests (§3.2): processes cannot interfere with each
+other's endpoints, segments, queues, or channels."""
+
+import pytest
+
+from repro.core import ProtectionError, SendDescriptor, UNetCluster, UNetSession
+from repro.sim import Simulator
+
+from tests.core.conftest import run
+
+
+@pytest.fixture
+def multi_proc_cluster():
+    """Two processes on one host, each with its own endpoint, plus a
+    third process on a second host."""
+    sim = Simulator()
+    cluster = UNetCluster(sim, [("hostA", 60.0), ("hostB", 60.0)])
+    s1 = cluster.open_session("hostA", "proc1")
+    s2 = cluster.open_session("hostA", "proc2")
+    s3 = cluster.open_session("hostB", "proc3")
+    return sim, cluster, s1, s2, s3
+
+
+class TestSameHostIsolation:
+    def test_cannot_touch_other_process_endpoint(self, multi_proc_cluster):
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        with pytest.raises(ProtectionError):
+            s2.endpoint.recv_poll("proc1")
+
+    def test_cannot_send_on_other_process_channel(self, multi_proc_cluster):
+        """proc2 cannot inject traffic into proc1's channel even though
+        both endpoints live on the same host and NI."""
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        ch1, ch3 = cluster.connect_sessions(s1, s3)
+        # proc2's endpoint has no channel with that id
+        with pytest.raises(ProtectionError):
+            s2.endpoint.post_send(
+                SendDescriptor(channel=ch1.ident, inline=b"spoof"), "proc2"
+            )
+
+    def test_session_requires_ownership(self, multi_proc_cluster):
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        with pytest.raises(ProtectionError):
+            UNetSession(cluster.hosts["hostA"], s1.endpoint, "proc2")
+
+
+class TestTrafficIsolation:
+    def test_two_channel_pairs_do_not_cross(self, multi_proc_cluster):
+        """proc1<->proc3 and proc2<->proc3 traffic stays separated even
+        though it crosses the same NIs and switch."""
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        s3b = cluster.open_session("hostB", "proc3")  # second endpoint
+        ch1, ch3_from1 = cluster.connect_sessions(s1, s3)
+        ch2, ch3b_from2 = cluster.connect_sessions(s2, s3b)
+        got = {"ep3": [], "ep3b": []}
+
+        def sender(session, channel, tag):
+            yield from session.send(
+                SendDescriptor(channel=channel.ident, inline=tag)
+            )
+
+        def receiver(session, key):
+            desc = yield from session.recv()
+            got[key].append(desc.inline)
+
+        run(
+            sim,
+            sender(s1, ch1, b"one"),
+            sender(s2, ch2, b"two"),
+            receiver(s3, "ep3"),
+            receiver(s3b, "ep3b"),
+        )
+        assert got["ep3"] == [b"one"]
+        assert got["ep3b"] == [b"two"]
+
+    def test_unregistered_tag_is_not_delivered(self, multi_proc_cluster):
+        """Cells arriving with a tag the kernel never registered are
+        counted as unmatched and never reach any endpoint."""
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        ch1, ch3 = cluster.connect_sessions(s1, s3)
+        # Tear down the receive side registration behind the scenes,
+        # simulating a stale/forged tag.
+        cluster.hosts["hostB"].ni.mux.unregister(ch3)
+
+        def sender():
+            yield from s1.send(SendDescriptor(channel=ch1.ident, inline=b"x"))
+
+        run(sim, sender())
+        sim.run(until=1e9)
+        assert cluster.hosts["hostB"].ni.mux.unmatched == 1
+        assert s3.endpoint.recv_poll("proc3") is None
+
+    def test_channel_identifies_origin(self, multi_proc_cluster):
+        """Received descriptors carry the channel id, so the application
+        can trust the origin without parsing the payload (§3.2)."""
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        s1b = cluster.open_session("hostA", "proc1b")
+        ch1, ch3_a = cluster.connect_sessions(s1, s3)
+        ch1b, ch3_b = cluster.connect_sessions(s1b, s3)
+        got = []
+
+        def sender(session, channel):
+            yield from session.send(
+                SendDescriptor(channel=channel.ident, inline=b"hi")
+            )
+
+        def receiver():
+            for _ in range(2):
+                desc = yield from s3.recv()
+                got.append(desc.channel)
+
+        run(sim, sender(s1, ch1), sender(s1b, ch1b), receiver())
+        assert sorted(got) == sorted([ch3_a.ident, ch3_b.ident])
+
+
+class TestSegmentIsolation:
+    def test_segments_are_disjoint_objects(self, multi_proc_cluster):
+        sim, cluster, s1, s2, s3 = multi_proc_cluster
+        s1.endpoint.segment.write(0, b"secret")
+        assert s2.endpoint.segment.read(0, 6) == bytes(6)

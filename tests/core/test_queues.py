@@ -1,0 +1,130 @@
+"""Descriptor ring semantics: back-pressure, events, drain."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queues import DescriptorRing
+from repro.sim import Simulator
+
+
+def ring(capacity=4, **kwargs):
+    return DescriptorRing(Simulator(), capacity, **kwargs)
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        r = ring(8)
+        for i in range(5):
+            assert r.push(i)
+        assert [r.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_returns_none(self):
+        assert ring().pop() is None
+
+    def test_peek_does_not_consume(self):
+        r = ring()
+        r.push("x")
+        assert r.peek() == "x"
+        assert len(r) == 1
+
+    def test_back_pressure_on_full(self):
+        """§3.1: a full ring rejects the push instead of blocking."""
+        r = ring(2)
+        assert r.push(1) and r.push(2)
+        assert not r.push(3)
+        assert r.rejected == 1
+        assert len(r) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ring(0)
+        with pytest.raises(ValueError):
+            DescriptorRing(Simulator(), 4, almost_full_fraction=0.0)
+
+    def test_counters(self):
+        r = ring(4)
+        r.push(1)
+        r.push(2)
+        r.pop()
+        assert (r.pushed, r.popped) == (2, 1)
+
+
+class TestEvents:
+    def test_wait_nonempty_immediate(self):
+        sim = Simulator()
+        r = DescriptorRing(sim, 4)
+        r.push(1)
+        assert r.wait_nonempty().triggered
+
+    def test_wait_nonempty_deferred(self):
+        sim = Simulator()
+        r = DescriptorRing(sim, 4)
+        ev = r.wait_nonempty()
+        assert not ev.triggered
+        r.push(1)
+        assert ev.triggered
+
+    def test_wait_almost_full(self):
+        sim = Simulator()
+        r = DescriptorRing(sim, 4, almost_full_fraction=0.75)
+        ev = r.wait_almost_full()
+        r.push(1)
+        r.push(2)
+        assert not ev.triggered
+        r.push(3)  # 3 >= ceil(4*0.75)
+        assert ev.triggered
+
+    def test_wait_space(self):
+        sim = Simulator()
+        r = DescriptorRing(sim, 2)
+        r.push(1)
+        r.push(2)
+        ev = r.wait_space()
+        assert not ev.triggered
+        r.pop()
+        assert ev.triggered
+
+    def test_waiters_fire_once(self):
+        sim = Simulator()
+        r = DescriptorRing(sim, 4)
+        ev = r.wait_nonempty()
+        r.push(1)
+        r.push(2)  # must not re-trigger the one-shot event
+        assert ev.triggered
+
+
+class TestDrain:
+    def test_drain_returns_all(self):
+        r = ring(8)
+        for i in range(5):
+            r.push(i)
+        assert r.drain() == [0, 1, 2, 3, 4]
+        assert r.is_empty
+
+    def test_drain_empty(self):
+        assert ring().drain() == []
+
+    def test_drain_wakes_space_waiters(self):
+        sim = Simulator()
+        r = DescriptorRing(sim, 2)
+        r.push(1)
+        r.push(2)
+        ev = r.wait_space()
+        r.drain()
+        assert ev.triggered
+
+
+class TestAlmostFullLevel:
+    @given(st.integers(1, 64), st.floats(0.1, 1.0))
+    @settings(max_examples=40)
+    def test_level_always_valid(self, capacity, fraction):
+        r = DescriptorRing(Simulator(), capacity, almost_full_fraction=fraction)
+        assert 1 <= r.almost_full_level <= capacity
+
+    def test_is_almost_full_tracks_level(self):
+        r = ring(10, almost_full_fraction=0.5)
+        for _ in range(4):
+            r.push("x")
+        assert not r.is_almost_full
+        r.push("x")
+        assert r.is_almost_full

@@ -1,0 +1,130 @@
+"""Communication segment: bounds, allocator invariants (property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SegmentRangeError
+from repro.core.segment import BUFFER_ALIGNMENT, CommSegment, align_up
+
+
+class TestRawAccess:
+    def test_write_read_roundtrip(self):
+        seg = CommSegment(1024)
+        seg.write(100, b"hello")
+        assert seg.read(100, 5) == b"hello"
+
+    def test_zero_initialized(self):
+        seg = CommSegment(64)
+        assert seg.read(0, 64) == bytes(64)
+
+    def test_out_of_range_write(self):
+        seg = CommSegment(64)
+        with pytest.raises(SegmentRangeError):
+            seg.write(60, b"too long")
+
+    def test_out_of_range_read(self):
+        seg = CommSegment(64)
+        with pytest.raises(SegmentRangeError):
+            seg.read(64, 1)
+
+    def test_negative_offset(self):
+        seg = CommSegment(64)
+        with pytest.raises(SegmentRangeError):
+            seg.read(-1, 2)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            CommSegment(0)
+
+
+class TestAllocator:
+    def test_alloc_returns_aligned(self):
+        seg = CommSegment(1024)
+        for _ in range(5):
+            off = seg.alloc(13)
+            assert off % BUFFER_ALIGNMENT == 0
+
+    def test_alloc_free_reuse(self):
+        seg = CommSegment(128)
+        a = seg.alloc(64)
+        b = seg.alloc(64)
+        with pytest.raises(SegmentRangeError):
+            seg.alloc(1)
+        seg.free(a, 64)
+        c = seg.alloc(64)
+        assert c == a
+
+    def test_free_merges_neighbours(self):
+        seg = CommSegment(192)
+        offs = [seg.alloc(64) for _ in range(3)]
+        for off in offs:
+            seg.free(off, 64)
+        # after merging, a full-size allocation must succeed
+        assert seg.alloc(192) == 0
+
+    def test_double_free_detected(self):
+        seg = CommSegment(128)
+        a = seg.alloc(64)
+        seg.free(a, 64)
+        with pytest.raises(SegmentRangeError):
+            seg.free(a, 64)
+
+    def test_exhaustion_message(self):
+        seg = CommSegment(64)
+        seg.alloc(64)
+        with pytest.raises(SegmentRangeError, match="exhausted"):
+            seg.alloc(8)
+
+    def test_alloc_validation(self):
+        seg = CommSegment(64)
+        with pytest.raises(ValueError):
+            seg.alloc(0)
+
+    def test_free_bytes(self):
+        seg = CommSegment(128)
+        assert seg.free_bytes == 128
+        seg.alloc(40)  # rounds to 40 (already aligned)
+        assert seg.free_bytes == 88
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=30)
+    )
+    @settings(max_examples=50)
+    def test_alloc_never_overlaps(self, sizes):
+        """Property: live allocations never overlap and stay in bounds."""
+        seg = CommSegment(8192)
+        live = []
+        for size in sizes:
+            try:
+                off = seg.alloc(size)
+            except SegmentRangeError:
+                continue
+            for other_off, other_size in live:
+                a0, a1 = off, off + align_up(size)
+                b0, b1 = other_off, other_off + align_up(other_size)
+                assert a1 <= b0 or b1 <= a0, "overlapping allocations"
+            assert off + size <= seg.size
+            live.append((off, size))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=20)
+    )
+    @settings(max_examples=50)
+    def test_full_free_restores_capacity(self, sizes):
+        """Property: freeing everything returns the segment to one block."""
+        seg = CommSegment(16384)
+        live = []
+        for size in sizes:
+            live.append((seg.alloc(size), size))
+        for off, size in live:
+            seg.free(off, size)
+        assert seg.free_bytes == seg.size
+        assert seg.alloc(seg.size) == 0
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 0), (1, 8), (8, 8), (9, 16), (4160, 4160)]
+    )
+    def test_align_up(self, value, expected):
+        assert align_up(value) == expected

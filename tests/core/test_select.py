@@ -1,0 +1,116 @@
+"""The select()-style blocking receive model (§3.1)."""
+
+import pytest
+
+from repro.core import SendDescriptor, UNetCluster
+from repro.core.select import select_recv
+from repro.sim import Simulator
+
+
+def build():
+    """One receiver process with two endpoints, two remote senders."""
+    sim = Simulator()
+    cluster = UNetCluster(sim, [("rx", 60.0), ("tx1", 60.0), ("tx2", 60.0)])
+    r1 = cluster.open_session("rx", "receiver")
+    r2 = cluster.open_session("rx", "receiver")
+    s1 = cluster.open_session("tx1", "sender1")
+    s2 = cluster.open_session("tx2", "sender2")
+    ch_s1, ch_r1 = cluster.connect_sessions(s1, r1)
+    ch_s2, ch_r2 = cluster.connect_sessions(s2, r2)
+    return sim, cluster, (r1, r2), (s1, ch_s1), (s2, ch_s2)
+
+
+class TestSelect:
+    def test_wakes_on_whichever_endpoint_receives(self):
+        sim, cluster, (r1, r2), (s1, ch1), (s2, ch2) = build()
+        got = {}
+
+        def receiver():
+            hits = yield from select_recv([r1, r2])
+            got["ready"] = hits
+            got["at"] = sim.now
+
+        def sender():
+            yield sim.timeout(500.0)
+            yield from s2.send(SendDescriptor(channel=ch2.ident, inline=b"x"))
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run(until=1e6)
+        assert got["ready"] == [r2]
+        assert got["at"] > 500.0
+
+    def test_immediate_when_already_pending(self):
+        sim, cluster, (r1, r2), (s1, ch1), (s2, ch2) = build()
+        got = {}
+
+        def sender():
+            yield from s1.send(SendDescriptor(channel=ch1.ident, inline=b"x"))
+
+        def receiver():
+            yield sim.timeout(1000.0)  # message is already there
+            hits = yield from select_recv([r1, r2], timeout_us=10.0)
+            got["ready"] = hits
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run(until=1e6)
+        assert got["ready"] == [r1]
+
+    def test_timeout_returns_empty(self):
+        sim, cluster, (r1, r2), _s1, _s2 = build()
+        got = {}
+
+        def receiver():
+            t0 = sim.now
+            hits = yield from select_recv([r1, r2], timeout_us=300.0)
+            got["ready"] = hits
+            got["waited"] = sim.now - t0
+
+        sim.process(receiver())
+        sim.run(until=1e6)
+        assert got["ready"] == []
+        assert got["waited"] >= 300.0
+
+    def test_both_ready_reported_together(self):
+        sim, cluster, (r1, r2), (s1, ch1), (s2, ch2) = build()
+        got = {}
+
+        def senders():
+            yield from s1.send(SendDescriptor(channel=ch1.ident, inline=b"a"))
+            yield from s2.send(SendDescriptor(channel=ch2.ident, inline=b"b"))
+
+        def receiver():
+            yield sim.timeout(2000.0)
+            got["ready"] = yield from select_recv([r1, r2])
+
+        sim.process(senders())
+        sim.process(receiver())
+        sim.run(until=1e6)
+        assert set(id(s) for s in got["ready"]) == {id(r1), id(r2)}
+
+    def test_wakeup_cost_charged_once(self):
+        sim, cluster, (r1, r2), (s1, ch1), (s2, ch2) = build()
+        host = cluster.hosts["rx"]
+        got = {}
+
+        def sender():
+            yield from s1.send(SendDescriptor(channel=ch1.ident, inline=b"x"))
+
+        def receiver():
+            yield sim.timeout(1000.0)
+            before = host.cpu.busy_us
+            yield from select_recv([r1, r2])
+            got["cost"] = host.cpu.busy_us - before
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run(until=1e6)
+        assert got["cost"] == pytest.approx(host.costs.select_wakeup_us)
+
+    def test_validation(self):
+        sim, cluster, (r1, r2), (s1, ch1), _ = build()
+        with pytest.raises(ValueError):
+            list(select_recv([]))
+        with pytest.raises(ValueError):
+            list(select_recv([r1, s1]))  # different hosts/processes

@@ -1,0 +1,116 @@
+"""Stateful property tests on core data structures (hypothesis)."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.errors import SegmentRangeError
+from repro.core.queues import DescriptorRing
+from repro.core.segment import CommSegment, align_up
+from repro.sim import Simulator
+
+
+class SegmentAllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free/write sequences must preserve the allocator's
+    invariants: no overlap, no loss of capacity, data isolation."""
+
+    def __init__(self):
+        super().__init__()
+        self.segment = CommSegment(16 * 1024)
+        self.live = {}  # offset -> (length, fill byte)
+        self.counter = 0
+
+    @rule(size=st.integers(1, 600))
+    def alloc(self, size):
+        try:
+            offset = self.segment.alloc(size)
+        except SegmentRangeError:
+            return
+        self.counter = (self.counter + 1) % 255 or 1
+        self.segment.write(offset, bytes([self.counter]) * size)
+        self.live[offset] = (size, self.counter)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_one(self, data):
+        offset = data.draw(st.sampled_from(sorted(self.live)))
+        size, _ = self.live.pop(offset)
+        self.segment.free(offset, size)
+
+    @invariant()
+    def no_overlaps(self):
+        spans = sorted(
+            (off, off + align_up(size)) for off, (size, _) in self.live.items()
+        )
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0, "allocations overlap"
+
+    @invariant()
+    def data_is_isolated(self):
+        for offset, (size, fill) in self.live.items():
+            assert self.segment.read(offset, size) == bytes([fill]) * size
+
+    @invariant()
+    def accounting_consistent(self):
+        used = sum(align_up(size) for size, _ in self.live.values())
+        assert self.segment.free_bytes == self.segment.size - used
+
+
+TestSegmentAllocator = SegmentAllocatorMachine.TestCase
+TestSegmentAllocator.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+class RingMachine(RuleBasedStateMachine):
+    """The descriptor ring is an exact bounded FIFO."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.ring = DescriptorRing(self.sim, capacity=8)
+        self.model = []
+        self.next_item = 0
+
+    @rule()
+    def push(self):
+        ok = self.ring.push(self.next_item)
+        if len(self.model) < 8:
+            assert ok
+            self.model.append(self.next_item)
+        else:
+            assert not ok  # back-pressure, never silent overwrite
+        self.next_item += 1
+
+    @rule()
+    def pop(self):
+        got = self.ring.pop()
+        if self.model:
+            assert got == self.model.pop(0)
+        else:
+            assert got is None
+
+    @rule()
+    def drain(self):
+        assert self.ring.drain() == self.model
+        self.model.clear()
+
+    @invariant()
+    def length_matches(self):
+        assert len(self.ring) == len(self.model)
+        assert self.ring.is_empty == (not self.model)
+        assert self.ring.is_full == (len(self.model) == 8)
+
+    @invariant()
+    def peek_matches(self):
+        expected = self.model[0] if self.model else None
+        assert self.ring.peek() == expected
+
+
+TestRing = RingMachine.TestCase
+TestRing.settings = settings(max_examples=40, stateful_step_count=50, deadline=None)

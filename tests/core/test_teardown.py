@@ -1,0 +1,104 @@
+"""Channel/endpoint teardown paths and in-flight traffic behaviour."""
+
+import pytest
+
+from repro.core import ChannelError, ProtectionError, SendDescriptor, UNetCluster
+from repro.sim import Simulator
+
+from tests.core.conftest import run
+
+
+class TestDisconnect:
+    def test_traffic_stops_after_disconnect(self, pair, sim):
+        cluster, sa, sb, ch_a, ch_b = pair
+
+        def exchange():
+            yield from sa.send(SendDescriptor(channel=ch_a.ident, inline=b"1"))
+            yield from sb.recv()
+
+        run(sim, exchange())
+        cluster.directory.disconnect(ch_a, "procA")
+        with pytest.raises(ProtectionError):
+            sa.endpoint.post_send(
+                SendDescriptor(channel=ch_a.ident, inline=b"2"), "procA"
+            )
+
+    def test_disconnect_requires_owner(self, pair, sim):
+        cluster, sa, sb, ch_a, ch_b = pair
+        with pytest.raises(ProtectionError):
+            cluster.directory.disconnect(ch_a, "someone-else")
+
+    def test_in_flight_cells_after_teardown_are_unrouted(self, pair, sim):
+        """Cells already on the wire when the circuit closes are dropped
+        at the switch, not delivered to a stale endpoint."""
+        cluster, sa, sb, ch_a, ch_b = pair
+
+        def sender():
+            yield from sa.send_copy(ch_a.ident, bytes(4000))
+
+        sim.process(sender())
+        # past the compose+post (~90 us) but well before the ~260 us of
+        # cell serialization completes: cells are on the wire
+        sim.run(until=sim.now + 150.0)
+        cluster.directory.disconnect(ch_a, "procA")
+        sim.run(until=sim.now + 1e6)
+        assert cluster.network.switch.cells_unrouted > 0
+        assert sb.endpoint.messages_received == 0
+
+    def test_reconnect_after_disconnect(self, pair, sim):
+        cluster, sa, sb, ch_a, ch_b = pair
+        cluster.directory.disconnect(ch_a, "procA")
+        ch_a2, ch_b2 = cluster.connect_sessions(sa, sb)
+        got = {}
+
+        def sender():
+            yield from sa.send(SendDescriptor(channel=ch_a2.ident, inline=b"again"))
+
+        def receiver():
+            desc = yield from sb.recv()
+            got["data"] = desc.inline
+
+        run(sim, sender(), receiver())
+        assert got["data"] == b"again"
+
+
+class TestEndpointDestroy:
+    def test_destroy_closes_channels_on_both_sides(self, pair, sim):
+        cluster, sa, sb, ch_a, ch_b = pair
+        cluster.agent("alice").destroy_endpoint(sa.endpoint, "procA")
+        assert sa.endpoint.destroyed
+        assert not ch_a.open
+
+    def test_destroy_frees_the_mux_slot(self, pair, sim):
+        cluster, sa, sb, ch_a, ch_b = pair
+        mux = cluster.hosts["alice"].ni.mux
+        assert ch_a.rx_vci in mux
+        cluster.agent("alice").destroy_endpoint(sa.endpoint, "procA")
+        assert ch_a.rx_vci not in mux
+
+
+class TestDirectoryServiceLifecycle:
+    def test_withdrawn_service_rejects_connect(self, sim):
+        cluster = UNetCluster.pair(sim)
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        cluster.directory.withdraw("svc", "pb")
+        with pytest.raises(ChannelError, match="unknown service"):
+            cluster.directory.connect(sa.endpoint, "svc", "pa")
+
+    def test_connect_to_destroyed_service(self, sim):
+        cluster = UNetCluster.pair(sim)
+        sa = cluster.open_session("alice", "pa")
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        cluster.agent("bob").destroy_endpoint(sb.endpoint, "pb")
+        with pytest.raises(ChannelError, match="destroyed"):
+            cluster.directory.connect(sa.endpoint, "svc", "pa")
+
+    def test_withdraw_requires_owner(self, sim):
+        cluster = UNetCluster.pair(sim)
+        sb = cluster.open_session("bob", "pb")
+        cluster.directory.advertise("svc", sb.endpoint, "pb")
+        with pytest.raises(ProtectionError):
+            cluster.directory.withdraw("svc", "pa")

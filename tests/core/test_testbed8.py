@@ -1,0 +1,146 @@
+"""Eight-node testbed integration (§4.2's five SS-20s + three SS-10s)."""
+
+import pytest
+
+from repro.core import SendDescriptor, UNetCluster
+from repro.sim import Simulator
+
+from tests.core.conftest import run
+
+
+@pytest.fixture
+def testbed():
+    sim = Simulator()
+    cluster = UNetCluster.paper_testbed(sim)
+    return sim, cluster
+
+
+class TestAllToAll:
+    def test_every_pair_communicates(self, testbed):
+        """28 full-duplex channels; every node sends a tagged message to
+        every other and verifies all arrivals."""
+        sim, cluster = testbed
+        names = cluster.host_names
+        sessions = {
+            name: cluster.open_session(name, f"app-{name}") for name in names
+        }
+        channels = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                ch_ab, ch_ba = cluster.connect_sessions(sessions[a], sessions[b])
+                channels[(a, b)] = ch_ab
+                channels[(b, a)] = ch_ba
+        received = {name: set() for name in names}
+
+        def node(name):
+            session = sessions[name]
+            yield from session.provide_receive_buffers(12)
+            my_index = names.index(name)
+            for peer in names:
+                if peer != name:
+                    msg = f"{my_index}".encode()
+                    yield from session.send(
+                        SendDescriptor(
+                            channel=channels[(name, peer)].ident, inline=msg
+                        )
+                    )
+            for _ in range(len(names) - 1):
+                desc = yield from session.recv()
+                received[name].add(int(session.peek_payload(desc)))
+
+        run(sim, *[node(name) for name in names])
+        for i, name in enumerate(names):
+            assert received[name] == set(range(8)) - {i}
+
+    def test_switch_carried_every_route(self, testbed):
+        sim, cluster = testbed
+        names = cluster.host_names
+        sessions = {n: cluster.open_session(n, f"p-{n}") for n in names}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                cluster.connect_sessions(sessions[a], sessions[b])
+        # 28 duplex circuits = 56 switch routes
+        assert len(cluster.network.switch._routes) == 56
+
+
+class TestMixedClocks:
+    def test_ss10_round_trips_slower_than_ss20(self, testbed):
+        """Host-side costs scale with the clock: the 50 MHz SS-10s see
+        slightly slower round trips than the 60 MHz SS-20s."""
+        sim, cluster = testbed
+
+        def measure(a, b):
+            sa = cluster.open_session(a, f"m-{a}")
+            sb = cluster.open_session(b, f"m-{b}")
+            ch_a, ch_b = cluster.connect_sessions(sa, sb)
+            out = {}
+
+            def pinger():
+                yield from sa.provide_receive_buffers(4)
+                t0 = sim.now
+                yield from sa.send(SendDescriptor(channel=ch_a.ident, inline=b"x"))
+                yield from sa.recv()
+                out["rtt"] = sim.now - t0
+
+            def ponger():
+                yield from sb.provide_receive_buffers(4)
+                desc = yield from sb.recv()
+                yield from sb.send(
+                    SendDescriptor(channel=ch_b.ident, inline=desc.inline)
+                )
+
+            run(sim, pinger(), ponger())
+            return out["rtt"]
+
+        fast = measure("ss20-0", "ss20-1")
+        slow = measure("ss10-0", "ss10-1")
+        assert slow > fast
+
+    def test_clock_speeds_match_spec(self, testbed):
+        sim, cluster = testbed
+        assert cluster.hosts["ss20-0"].mhz == 60.0
+        assert cluster.hosts["ss10-2"].mhz == 50.0
+
+
+class TestConcurrentLoad:
+    def test_four_simultaneous_streams(self, testbed):
+        """Four disjoint pairs stream concurrently through the switch
+        with zero loss (output-buffered, disjoint ports)."""
+        sim, cluster = testbed
+        names = cluster.host_names
+        pairs = [(names[i], names[i + 4]) for i in range(4)]
+        n, size = 30, 2048
+        done = {"count": 0}
+
+        def make_pair(a, b):
+            sa = cluster.open_session(a, f"s-{a}", segment_size=512 * 1024,
+                                      free_ring=128)
+            sb = cluster.open_session(b, f"s-{b}", segment_size=512 * 1024,
+                                      free_ring=128)
+            ch_a, _ = cluster.connect_sessions(sa, sb)
+
+            def sender():
+                offset = sa.alloc(size)
+                yield from sa.write_segment(offset, bytes(size))
+                for _ in range(n):
+                    yield from sa.send(
+                        SendDescriptor(channel=ch_a.ident, bufs=((offset, size),))
+                    )
+
+            def receiver():
+                yield from sb.provide_receive_buffers(60)
+                for _ in range(n):
+                    desc = yield from sb.recv()
+                    assert desc.length == size
+                    yield from sb.repost_free(desc)
+                done["count"] += 1
+
+            return [sender(), receiver()]
+
+        gens = []
+        for a, b in pairs:
+            gens.extend(make_pair(a, b))
+        run(sim, *gens)
+        assert done["count"] == 4
+        for link in cluster.network.switch.output_links:
+            assert link.cells_dropped == 0

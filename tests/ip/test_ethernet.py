@@ -1,0 +1,83 @@
+"""Ethernet segment model tests."""
+
+import pytest
+
+from repro.ip.ethernet import (
+    ETHERNET_BPS,
+    ETHERNET_MTU,
+    INTERFRAME_GAP_US,
+    EthernetFrame,
+    EthernetLan,
+)
+from repro.sim import Simulator
+
+
+class TestFrames:
+    def test_mtu_enforced(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(1, 2, bytes(ETHERNET_MTU + 1))
+
+    def test_minimum_frame_size(self):
+        tiny = EthernetFrame(1, 2, b"x")
+        assert tiny.wire_bytes == 64 + 8  # min frame + preamble
+
+    def test_full_frame_size(self):
+        frame = EthernetFrame(1, 2, bytes(1500))
+        assert frame.wire_bytes == 1500 + 18 + 8
+
+
+class TestLan:
+    def test_delivery_by_address(self):
+        sim = Simulator()
+        lan = EthernetLan(sim)
+        p1, p2, p3 = lan.attach(1), lan.attach(2), lan.attach(3)
+        got = {2: [], 3: []}
+        p2.set_rx_sink(lambda f: got[2].append(f.payload))
+        p3.set_rx_sink(lambda f: got[3].append(f.payload))
+        p1.send_frame(2, b"for-two")
+        p1.send_frame(3, b"for-three")
+        sim.run()
+        assert got[2] == [b"for-two"]
+        assert got[3] == [b"for-three"]
+
+    def test_serialization_at_10mbit(self):
+        sim = Simulator()
+        lan = EthernetLan(sim)
+        p1, p2 = lan.attach(1), lan.attach(2)
+        arrivals = []
+        p2.set_rx_sink(lambda f: arrivals.append(sim.now))
+        p1.send_frame(2, bytes(1000))
+        sim.run()
+        expected = (1000 + 18 + 8) * 8 / ETHERNET_BPS * 1e6
+        assert arrivals == [pytest.approx(expected)]
+
+    def test_shared_medium_serializes_both_directions(self):
+        sim = Simulator()
+        lan = EthernetLan(sim)
+        p1, p2 = lan.attach(1), lan.attach(2)
+        arrivals = []
+        p1.set_rx_sink(lambda f: arrivals.append(("p1", sim.now)))
+        p2.set_rx_sink(lambda f: arrivals.append(("p2", sim.now)))
+        p1.send_frame(2, bytes(1000))
+        p2.send_frame(1, bytes(1000))
+        sim.run()
+        frame_us = (1026) * 8 / ETHERNET_BPS * 1e6
+        assert arrivals[0][1] == pytest.approx(frame_us)
+        assert arrivals[1][1] == pytest.approx(2 * frame_us + INTERFRAME_GAP_US)
+
+    def test_duplicate_address_rejected(self):
+        sim = Simulator()
+        lan = EthernetLan(sim)
+        lan.attach(1)
+        with pytest.raises(ValueError):
+            lan.attach(1)
+
+    def test_counters(self):
+        sim = Simulator()
+        lan = EthernetLan(sim)
+        p1, p2 = lan.attach(1), lan.attach(2)
+        p2.set_rx_sink(lambda f: None)
+        for _ in range(3):
+            p1.send_frame(2, bytes(100))
+        sim.run()
+        assert lan.frames_sent == 3

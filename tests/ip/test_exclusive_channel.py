@@ -1,0 +1,115 @@
+"""§7.1 extension: 'an exclusive U-Net channel per TCP connection ...
+would be simple to implement' -- so it is implemented: the U-Net mux
+becomes the TCP demultiplexer and the port lookup disappears."""
+
+import pytest
+
+from repro.core import UNetCluster
+from repro.ip.tcp import TcpConfig
+from repro.ip.unet import UnetIpStack
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    cluster = UNetCluster.pair(sim)
+    kwargs = dict(segment_size=1024 * 1024, send_ring=48, recv_ring=192,
+                  free_ring=192)
+    sa = cluster.open_session("alice", "ipa", **kwargs)
+    sb = cluster.open_session("bob", "ipb", **kwargs)
+    ch_a, ch_b = cluster.connect_sessions(sa, sb)  # the shared IP channel
+    stack_a = UnetIpStack(sa, addr=1, recv_buffers=80)
+    stack_b = UnetIpStack(sb, addr=2, recv_buffers=80)
+    stack_a.add_peer(2, ch_a.ident)
+    stack_b.add_peer(1, ch_b.ident)
+    # a second, exclusive channel between the same endpoints for one
+    # TCP connection (kernel-mediated setup, as always)
+    ex_a, ex_b = cluster.connect_sessions(sa, sb)
+
+    def boot():
+        yield from stack_a.start()
+        yield from stack_b.start()
+
+    sim.process(boot())
+    sim.run(until=5000.0)
+    return sim, cluster, stack_a, stack_b, ex_a, ex_b
+
+
+def transfer(sim, stack_a, stack_b, ex_a=None, ex_b=None, n_bytes=30_000):
+    config = TcpConfig(window=8192)
+    server = stack_b.tcp_listen(
+        7000, peer_addr=1, config=config,
+        channel_id=ex_b.ident if ex_b else None,
+    )
+    data = bytes(i % 256 for i in range(n_bytes))
+    hold = {}
+
+    def client():
+        conn = yield from stack_a.tcp_connect(
+            2, 7000, config=config, channel_id=ex_a.ident if ex_a else None
+        )
+        hold["conn"] = conn
+        yield from conn.send(data)
+
+    def srv():
+        yield from server.wait_established()
+        got = b""
+        while len(got) < n_bytes:
+            got += yield from server.recv(1 << 20)
+        hold["data"] = got
+
+    sim.process(client())
+    sim.process(srv())
+    sim.run(until=sim.now + 1e8)
+    return hold, data, server
+
+
+class TestExclusiveChannel:
+    def test_transfer_over_exclusive_channel(self):
+        sim, cluster, stack_a, stack_b, ex_a, ex_b = build()
+        hold, data, server = transfer(sim, stack_a, stack_b, ex_a, ex_b)
+        assert hold.get("data") == data
+        # every segment demultiplexed by the channel, not by ports
+        assert stack_b.tcp_channel_demux_hits > 0
+        assert stack_b.tcp_channel_demux_hits == server.segments_received
+
+    def test_shared_channel_does_not_use_fast_demux(self):
+        sim, cluster, stack_a, stack_b, ex_a, ex_b = build()
+        hold, data, server = transfer(sim, stack_a, stack_b)  # shared path
+        assert hold.get("data") == data
+        assert stack_b.tcp_channel_demux_hits == 0
+
+    def test_exclusive_and_shared_coexist(self):
+        """A connection on its own channel and one on the shared IP
+        channel run side by side without crosstalk."""
+        sim, cluster, stack_a, stack_b, ex_a, ex_b = build()
+        config = TcpConfig(window=8192)
+        srv_ex = stack_b.tcp_listen(7001, peer_addr=1, config=config,
+                                    channel_id=ex_b.ident)
+        srv_sh = stack_b.tcp_listen(7002, peer_addr=1, config=config)
+        data_ex = bytes(20_000)
+        data_sh = bytes(i % 7 for i in range(20_000))
+        hold = {}
+
+        def client():
+            c1 = yield from stack_a.tcp_connect(2, 7001, config=config,
+                                                channel_id=ex_a.ident)
+            c2 = yield from stack_a.tcp_connect(2, 7002, config=config)
+            yield from c1.send(data_ex)
+            yield from c2.send(data_sh)
+
+        def receiver(server, key, expect):
+            def proc():
+                yield from server.wait_established()
+                got = b""
+                while len(got) < len(expect):
+                    got += yield from server.recv(1 << 20)
+                hold[key] = got
+            return proc()
+
+        sim.process(client())
+        sim.process(receiver(srv_ex, "ex", data_ex))
+        sim.process(receiver(srv_sh, "sh", data_sh))
+        sim.run(until=sim.now + 1e8)
+        assert hold.get("ex") == data_ex
+        assert hold.get("sh") == data_sh

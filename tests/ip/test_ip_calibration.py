@@ -1,0 +1,115 @@
+"""Shape assertions for the §7 results (Figures 6-9, Table 3 IP rows).
+
+These pin the *relationships* the paper reports; absolute values carry
+looser tolerances (see EXPERIMENTS.md for side-by-side numbers).
+"""
+
+import pytest
+
+from repro.bench.ip import tcp_bandwidth, tcp_rtt, udp_bandwidth, udp_rtt
+
+
+class TestFigure6KernelLatency:
+    def test_atm_worse_than_ethernet_for_small_messages(self):
+        """§7: 'for small messages the latency of both UDP and TCP
+        messages is larger using ATM than going over Ethernet'."""
+        atm = udp_rtt(64, kind="kernel-atm", n=3).mean_us
+        eth = udp_rtt(64, kind="kernel-eth", n=3).mean_us
+        assert atm > eth
+
+    def test_atm_wins_for_large_messages(self):
+        atm = udp_rtt(4096, kind="kernel-atm", n=3).mean_us
+        eth = udp_rtt(4096, kind="kernel-eth", n=3).mean_us
+        assert atm < eth
+
+    def test_kernel_small_latency_near_a_millisecond(self):
+        atm = udp_rtt(64, kind="kernel-atm", n=3).mean_us
+        assert 900.0 < atm < 2500.0
+
+
+class TestFigure9UnetLatency:
+    def test_unet_udp_rtt_matches_table3(self):
+        """Table 3: UDP round-trip ~138 us (small messages)."""
+        rtt = udp_rtt(64, kind="unet", n=4).mean_us
+        assert rtt == pytest.approx(138.0, rel=0.15)
+
+    def test_unet_tcp_rtt_matches_table3(self):
+        """Table 3: TCP round-trip ~157 us."""
+        rtt = tcp_rtt(8, kind="unet", n=4).mean_us
+        assert rtt == pytest.approx(157.0, rel=0.15)
+
+    def test_tcp_slightly_over_udp(self):
+        udp = udp_rtt(64, kind="unet", n=3).mean_us
+        tcp = tcp_rtt(64, kind="unet", n=3).mean_us
+        assert udp < tcp < udp + 80.0
+
+    def test_order_of_magnitude_over_kernel(self):
+        unet = udp_rtt(64, kind="unet", n=3).mean_us
+        kernel = udp_rtt(64, kind="kernel-atm", n=3).mean_us
+        assert kernel / unet > 7.0
+
+
+class TestFigure7UdpBandwidth:
+    def test_unet_udp_lossless(self):
+        """§7.6: 'U-Net UDP does not experience any losses'."""
+        for size in (1000, 4096):
+            r = udp_bandwidth(size, kind="unet")
+            assert r.drops == 0
+
+    def test_unet_udp_near_fiber_rate(self):
+        r = udp_bandwidth(4096, kind="unet")
+        assert r.recv_rate > 14e6
+
+    def test_kernel_udp_loses_under_load(self):
+        results = [udp_bandwidth(s, kind="kernel-atm") for s in (1000, 8000)]
+        assert any(r.drops > 0 for r in results)
+
+    def test_kernel_send_rate_exceeds_delivery(self):
+        """Figure 7 plots sender-perceived vs actually-received rates."""
+        r = udp_bandwidth(8000, kind="kernel-atm")
+        assert r.send_rate > r.recv_rate
+
+    def test_kernel_far_below_unet(self):
+        kernel = udp_bandwidth(1000, kind="kernel-atm").recv_rate
+        unet = udp_bandwidth(1000, kind="unet").recv_rate
+        assert unet > 3 * kernel
+
+    def test_mbuf_sawtooth_visible(self):
+        """§7.3: throughput dips when the remainder lands in 112-byte
+        small mbufs (just under a 512 boundary) and recovers past it."""
+        slow = udp_bandwidth(1500, kind="kernel-atm").send_rate  # 476-byte rem
+        fast = udp_bandwidth(1536, kind="kernel-atm").send_rate  # 512-byte rem
+        assert fast > slow * 1.05
+
+
+class TestFigure8TcpBandwidth:
+    def test_unet_tcp_full_bandwidth_with_8k_window(self):
+        """§7.7: 'U-Net TCP achieves a 14-15 Mbytes/sec bandwidth using
+        an 8 Kbyte window'."""
+        r = tcp_bandwidth(4096, kind="unet", window=8192)
+        assert 14e6 < r.bytes_per_second < 16e6
+
+    def test_kernel_tcp_capped_even_with_64k_window(self):
+        """§7.7: 'even with a 64K window the kernel TCP/ATM combination
+        will not achieve more than 9-10 Mbytes/sec'."""
+        r = tcp_bandwidth(4096, kind="kernel-atm", window=64 * 1024 - 1)
+        assert r.bytes_per_second < 12e6
+
+    def test_kernel_tcp_needs_big_windows(self):
+        small = tcp_bandwidth(4096, kind="kernel-atm", window=8192)
+        big = tcp_bandwidth(4096, kind="kernel-atm", window=64 * 1024 - 1)
+        assert big.bytes_per_second > 2 * small.bytes_per_second
+
+    def test_unet_window_insensitive_above_8k(self):
+        w8 = tcp_bandwidth(4096, kind="unet", window=8192).bytes_per_second
+        w32 = tcp_bandwidth(4096, kind="unet", window=32768).bytes_per_second
+        assert abs(w32 - w8) / w8 < 0.1
+
+    def test_write_size_insensitivity_unet(self):
+        """Figure 8's x axis: application write size barely matters for
+        U-Net TCP once past small writes."""
+        rates = [
+            tcp_bandwidth(ws, kind="unet", window=8192).bytes_per_second
+            for ws in (2048, 4096, 8192)
+        ]
+        assert max(rates) / min(rates) < 1.2

@@ -1,0 +1,97 @@
+"""The same user-level IP stack runs unchanged over kernel-emulated
+endpoints (§3.5: 'for software engineering reasons it may well be
+desirable to use a single interface to the network across all
+applications') -- just slower."""
+
+import pytest
+
+from repro.core import UNetCluster
+from repro.ip.unet import UnetIpStack
+from repro.sim import Simulator
+
+
+def build_pair(emulated: bool):
+    sim = Simulator()
+    cluster = UNetCluster.pair(sim)
+    kwargs = dict(
+        segment_size=512 * 1024, send_ring=48, recv_ring=128, free_ring=128,
+        emulated=emulated,
+    )
+    sa = cluster.open_session("alice", "ipa", **kwargs)
+    sb = cluster.open_session("bob", "ipb", **kwargs)
+    ch_a, ch_b = cluster.connect_sessions(sa, sb)
+    stack_a = UnetIpStack(sa, addr=1, recv_buffers=40)
+    stack_b = UnetIpStack(sb, addr=2, recv_buffers=40)
+    stack_a.add_peer(2, ch_a.ident)
+    stack_b.add_peer(1, ch_b.ident)
+
+    def boot():
+        yield from stack_a.start()
+        yield from stack_b.start()
+
+    sim.process(boot())
+    sim.run(until=5000.0)
+    return sim, stack_a, stack_b
+
+
+def udp_ping(sim, stack_a, stack_b, size=64, n=3):
+    a = stack_a.udp_socket(1000)
+    b = stack_b.udp_socket(2000)
+    rtts = []
+
+    def client():
+        for _ in range(n):
+            t0 = sim.now
+            yield from a.sendto(bytes(size), (2, 2000))
+            data, _src = yield from b_echo_recv()
+            rtts.append(sim.now - t0)
+
+    def b_echo_recv():
+        data, src = yield from a.recvfrom()
+        return data, src
+
+    def server():
+        for _ in range(n):
+            data, (src, port) = yield from b.recvfrom()
+            yield from b.sendto(data, (src, port))
+
+    sim.process(client())
+    sim.process(server())
+    sim.run(until=sim.now + 1e7)
+    return rtts
+
+
+class TestIpOverEmulatedEndpoints:
+    def test_udp_works_unchanged(self):
+        sim, stack_a, stack_b = build_pair(emulated=True)
+        rtts = udp_ping(sim, stack_a, stack_b)
+        assert len(rtts) == 3
+
+    def test_emulated_is_slower_than_regular(self):
+        sim_e, sa_e, sb_e = build_pair(emulated=True)
+        emu = udp_ping(sim_e, sa_e, sb_e)
+        sim_r, sa_r, sb_r = build_pair(emulated=False)
+        reg = udp_ping(sim_r, sa_r, sb_r)
+        assert min(emu) > min(reg) + 50.0  # kernel crossings both ways
+
+    def test_tcp_works_over_emulated(self):
+        sim, stack_a, stack_b = build_pair(emulated=True)
+        server = stack_b.tcp_listen(7000, peer_addr=1)
+        data = bytes(i % 256 for i in range(20_000))
+        got = {}
+
+        def client():
+            conn = yield from stack_a.tcp_connect(2, 7000)
+            yield from conn.send(data)
+
+        def srv():
+            yield from server.wait_established()
+            buf = b""
+            while len(buf) < len(data):
+                buf += yield from server.recv(1 << 20)
+            got["data"] = buf
+
+        sim.process(client())
+        sim.process(srv())
+        sim.run(until=sim.now + 1e8)
+        assert got.get("data") == data

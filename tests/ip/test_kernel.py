@@ -1,0 +1,142 @@
+"""Kernel-stack behaviour: mbuf costs, bounded buffers, silent drops."""
+
+import pytest
+
+from repro.bench.ip import build_kernel_atm_pair, build_kernel_eth_pair
+
+
+def run(sim, *gens, until=1e9):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=until)
+    return procs
+
+
+class TestKernelUdp:
+    @pytest.mark.parametrize("builder", [build_kernel_atm_pair, build_kernel_eth_pair])
+    def test_roundtrip(self, builder):
+        sim, net, sa, sb = builder()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)
+        got = {}
+
+        def sender():
+            yield from a.sendto(b"kernel ping", (2, 2000))
+
+        def receiver():
+            got["data"], got["src"] = yield from b.recvfrom()
+
+        run(sim, sender(), receiver())
+        assert got["data"] == b"kernel ping"
+        assert got["src"] == (1, 1000)
+
+    def test_large_datagram_over_ethernet_fragments(self):
+        sim, lan, sa, sb = build_kernel_eth_pair()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)
+        payload = bytes(i % 256 for i in range(6000))
+        got = {}
+
+        def sender():
+            yield from a.sendto(payload, (2, 2000))
+
+        def receiver():
+            got["data"], _ = yield from b.recvfrom()
+
+        run(sim, sender(), receiver())
+        assert got["data"] == payload
+        assert lan.frames_sent >= 5  # 6 KB over 1480-byte fragments
+
+    def test_socket_buffer_overrun_drops(self):
+        """§7.3: the 52 KB socket receive buffer drops on overrun when
+        the application does not drain."""
+        sim, cluster, sa, sb = build_kernel_atm_pair()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)  # never drained
+
+        def sender():
+            for _ in range(10):
+                yield from a.sendto(bytes(8000), (2, 2000))
+
+        run(sim, sender(), until=1e8)
+        sim.run(until=2e8)
+        assert b.drops > 0
+        assert b.buffered_bytes <= sb.costs.sockbuf_bytes
+        assert b.received + b.drops == 10
+
+    def test_sender_not_notified_of_drops(self):
+        """§7.4: packets are dropped 'without notifying the sending
+        application' -- sendto reports success regardless."""
+        sim, cluster, sa, sb = build_kernel_atm_pair()
+        a = sa.udp_socket(1000)
+        sb.udp_socket(2000)
+        completed = {"n": 0}
+
+        def sender():
+            for _ in range(80):
+                yield from a.sendto(bytes(8000), (2, 2000))
+                completed["n"] += 1
+
+        run(sim, sender(), until=2e8)
+        assert completed["n"] == 80  # every send "succeeded"
+
+
+class TestKernelTcp:
+    def test_roundtrip(self):
+        sim, cluster, sa, sb = build_kernel_atm_pair()
+        server = sb.tcp_listen(7000, peer_addr=1)
+        data = bytes(i % 256 for i in range(20_000))
+        got = {}
+
+        def client():
+            conn = yield from sa.tcp_connect(2, 7000)
+            yield from conn.send(data)
+
+        def srv():
+            yield from server.wait_established()
+            buf = b""
+            while len(buf) < len(data):
+                buf += yield from server.recv(1 << 20)
+            got["data"] = buf
+
+        run(sim, client(), srv(), until=1e9)
+        assert got["data"] == data
+
+    def test_kernel_defaults_match_sunos(self):
+        sim, cluster, sa, sb = build_kernel_atm_pair()
+        config = sa.tcp_config()
+        assert config.timer_granularity_us == 500_000.0  # pr_slow_timeout
+        assert config.delayed_ack is True
+        assert config.mss == 9140
+
+    def test_delayed_ack_default(self):
+        """Kernel TCP delays acks; a lone small segment is acked only
+        after the 200 ms delayed-ack timer (or piggybacked)."""
+        sim, cluster, sa, sb = build_kernel_atm_pair()
+        server = sb.tcp_listen(7000, peer_addr=1)
+        state = {}
+
+        def client():
+            conn = yield from sa.tcp_connect(2, 7000)
+            state["conn"] = conn
+            yield from conn.send(b"x")
+
+        def srv():
+            yield from server.wait_established()
+            yield from server.recv()
+
+        run(sim, client(), srv(), until=5e4)  # 50 ms: before delack fires
+        conn = state["conn"]
+        assert conn.snd_una < conn.snd_nxt  # still unacknowledged
+        sim.run(until=1e6)  # past the 200 ms delayed-ack timer
+        assert conn.snd_una == conn.snd_nxt
+
+
+class TestDeviceQueue:
+    def test_devq_overflow_counts(self):
+        sim, cluster, sa, sb = build_kernel_atm_pair()
+        # fill the queue directly: the devq is bounded at 46 packets
+        dev = sa.device
+        accepted = sum(1 for _ in range(100) if dev.transmit(b"\x00" * 64))
+        # the driver may have already pulled one packet off the queue
+        assert accepted in (dev.costs.devq_packets, dev.costs.devq_packets + 1)
+        assert dev.tx_drops == 100 - accepted

@@ -1,0 +1,74 @@
+"""The SunOS mbuf allocation rule and its saw-tooth (§7.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ip.mbuf import (
+    MBUF_CLUSTER_BYTES,
+    MBUF_SMALL_BYTES,
+    SMALL_REMAINDER_LIMIT,
+    MbufChain,
+    mbuf_chain_for,
+)
+
+
+class TestAllocationRule:
+    @pytest.mark.parametrize(
+        "size,clusters,smalls",
+        [
+            (0, 0, 1),
+            (1, 0, 1),
+            (112, 0, 1),
+            (113, 0, 2),
+            (511, 0, 5),
+            (512, 1, 0),  # remainder >= 512 gets a cluster
+            (1024, 1, 0),
+            (1025, 1, 1),
+            (1535, 1, 5),  # 511-byte remainder -> small mbuf chain
+            (1536, 2, 0),
+            (8192, 8, 0),
+            (8292, 8, 1),
+        ],
+    )
+    def test_chain_shapes(self, size, clusters, smalls):
+        chain = mbuf_chain_for(size)
+        assert (chain.clusters, chain.smalls) == (clusters, smalls)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mbuf_chain_for(-1)
+
+    @given(st.integers(0, 64 * 1024))
+    def test_capacity_covers_data(self, size):
+        chain = mbuf_chain_for(size)
+        cap = chain.clusters * MBUF_CLUSTER_BYTES + chain.smalls * MBUF_SMALL_BYTES
+        assert cap >= size
+        assert chain.wasted_bytes == cap - size
+
+    @given(st.integers(1, 64 * 1024))
+    def test_small_mbufs_only_for_small_remainders(self, size):
+        chain = mbuf_chain_for(size)
+        remainder = size % MBUF_CLUSTER_BYTES
+        if chain.smalls:
+            assert 0 < remainder < SMALL_REMAINDER_LIMIT
+
+
+class TestSawTooth:
+    def test_cost_spikes_below_half_K_remainder(self):
+        """Crossing from a 511-byte remainder (5 small mbufs) to a
+        512-byte one (1 cluster) drops the processing cost sharply --
+        Figure 7's saw-tooth."""
+        cost = lambda size: mbuf_chain_for(size).processing_us(6.0, 25.0)
+        expensive = cost(1024 + 511)
+        cheap = cost(1024 + 512)
+        assert expensive > cheap + 50.0
+
+    def test_sawtooth_period_is_1k(self):
+        cost = lambda size: mbuf_chain_for(size).processing_us(6.0, 25.0)
+        assert cost(2300) - cost(2048) == cost(3324) - cost(3072)
+
+    def test_smalls_have_no_refcounts_cost_more(self):
+        """The degradation exists because small mbufs are copied."""
+        per_byte_small = 25.0 / MBUF_SMALL_BYTES
+        per_byte_cluster = 6.0 / MBUF_CLUSTER_BYTES
+        assert per_byte_small > 10 * per_byte_cluster

@@ -1,0 +1,165 @@
+"""User-level UDP over U-Net: delivery, demux, pcb cache, MTU."""
+
+import pytest
+
+from repro.bench.ip import build_unet_pair
+from repro.core.errors import UNetError
+
+
+def run(sim, *gens, until=1e8):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=until)
+    return procs
+
+
+class TestDelivery:
+    def test_roundtrip_payload(self):
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)
+        got = {}
+
+        def sender():
+            yield from a.sendto(b"ping", (2, 2000))
+
+        def receiver():
+            data, src = yield from b.recvfrom()
+            got["data"], got["src"] = data, src
+
+        run(sim, sender(), receiver())
+        assert got["data"] == b"ping"
+        assert got["src"] == (1, 1000)
+
+    @pytest.mark.parametrize("size", [0, 1, 100, 1472, 4096, 8900])
+    def test_various_sizes(self, size):
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket()
+        b = sb.udp_socket(2000)
+        payload = bytes(i % 256 for i in range(size))
+        got = {}
+
+        def sender():
+            yield from a.sendto(payload, (2, 2000))
+
+        def receiver():
+            got["data"], _ = yield from b.recvfrom()
+
+        run(sim, sender(), receiver())
+        assert got["data"] == payload
+
+    def test_port_demultiplexing(self):
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+        b1 = sb.udp_socket(2001)
+        b2 = sb.udp_socket(2002)
+        got = {}
+
+        def sender():
+            yield from a.sendto(b"one", (2, 2001))
+            yield from a.sendto(b"two", (2, 2002))
+
+        def rcv(sock, key):
+            data, _ = yield from sock.recvfrom()
+            got[key] = data
+
+        run(sim, sender(), rcv(b1, "b1"), rcv(b2, "b2"))
+        assert got == {"b1": b"one", "b2": b"two"}
+
+    def test_unbound_port_counts_bad(self):
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+
+        def sender():
+            yield from a.sendto(b"ghost", (2, 9999))
+
+        run(sim, sender())
+        sim.run(until=1e8)
+        assert sb.bad_packets == 1
+
+
+class TestMtu:
+    def test_oversized_datagram_rejected(self):
+        """§7.5: no send-side fragmentation; the 9 KB MTU is a hard cap."""
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+
+        def sender():
+            with pytest.raises(UNetError, match="MTU"):
+                yield from a.sendto(bytes(9 * 1024), (2, 2000))
+
+        run(sim, sender())
+
+
+class TestPcbCache:
+    def test_cache_hits_after_first_packet(self):
+        """§7.6: pcb caching per incoming channel speeds up demux."""
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)
+
+        def sender():
+            for _ in range(5):
+                yield from a.sendto(b"x", (2, 2000))
+
+        def receiver():
+            for _ in range(5):
+                yield from b.recvfrom()
+
+        run(sim, sender(), receiver())
+        assert sb.pcb_misses == 1
+        assert sb.pcb_hits == 4
+
+
+class TestChecksumControl:
+    def test_checksum_disabled_skips_cost(self):
+        """§7.6: applications may switch the UDP checksum off."""
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)
+        a.checksum_enabled = False
+        got = {}
+
+        def sender():
+            t0 = sim.now
+            yield from a.sendto(bytes(4000), (2, 2000))
+            got["send_time"] = sim.now - t0
+
+        def receiver():
+            got["data"], _ = yield from b.recvfrom()
+
+        run(sim, sender(), receiver())
+        assert len(got["data"]) == 4000
+        # 4000-byte checksum would cost ~40 us; sending must be well under
+        # the checksummed cost
+        sim2, cluster2, sa2, sb2 = build_unet_pair()
+        a2 = sa2.udp_socket(1000)
+        sb2.udp_socket(2000)
+        got2 = {}
+
+        def sender2():
+            t0 = sim2.now
+            yield from a2.sendto(bytes(4000), (2, 2000))
+            got2["send_time"] = sim2.now - t0
+
+        run(sim2, sender2())
+        assert got2["send_time"] - got["send_time"] == pytest.approx(40.0, abs=5.0)
+
+
+class TestStatistics:
+    def test_packet_counters(self):
+        sim, cluster, sa, sb = build_unet_pair()
+        a = sa.udp_socket(1000)
+        b = sb.udp_socket(2000)
+
+        def sender():
+            for _ in range(3):
+                yield from a.sendto(b"m", (2, 2000))
+
+        def receiver():
+            for _ in range(3):
+                yield from b.recvfrom()
+
+        run(sim, sender(), receiver())
+        assert sa.packets_out == 3
+        assert sb.packets_in == 3
+        assert b.received == 3

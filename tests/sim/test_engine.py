@@ -1,0 +1,339 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulator,
+    SimulationError,
+    Timeout,
+)
+
+
+def run_to_end(sim):
+    sim.run(until=1e9)
+
+
+class TestTimeAdvance:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(12.5)
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 12.5
+        assert sim.now == 12.5
+
+    def test_zero_delay_timeout(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        sim.run(until=40.0)
+        assert sim.now == 40.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=50.0)
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(5.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def waiter():
+            value = yield ev
+            return value
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.succeed("payload")
+
+        p = sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert p.value == "payload"
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_propagates_into_process(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.fail(RuntimeError("boom"))
+
+        p = sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert p.value == "caught boom"
+
+    def test_unhandled_failure_crashes_run(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(RuntimeError("nobody listens"))
+        with pytest.raises(RuntimeError, match="nobody listens"):
+            sim.run()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_waiting_on_processed_event(self):
+        """Yielding an already-processed event resumes immediately."""
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("早い")
+        sim.run()
+        assert ev.processed
+
+        def late_waiter():
+            value = yield ev
+            return (sim.now, value)
+
+        p = sim.process(late_waiter())
+        sim.run()
+        assert p.value == (0.0, "早い")
+
+
+class TestProcesses:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 42
+        assert not p.is_alive
+
+    def test_process_is_waitable(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(7.0)
+            return "done"
+
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == (7.0, "done")
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return str(exc)
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "child failed"
+
+    def test_unhandled_process_exception_crashes_run(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise KeyError("oops")
+
+        sim.process(bad())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_yield_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 5
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt(self):
+        sim = Simulator()
+
+        def sleeper():
+            try:
+                yield sim.timeout(1000.0)
+            except Interrupt as intr:
+                return ("interrupted", sim.now, intr.cause)
+
+        def interrupter(target):
+            yield sim.timeout(10.0)
+            target.interrupt("wake up")
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        assert p.value == ("interrupted", 10.0, "wake up")
+
+    def test_interrupt_dead_process_raises(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+
+class TestConditions:
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+
+        def proc():
+            fast = sim.timeout(5.0, value="fast")
+            slow = sim.timeout(50.0, value="slow")
+            result = yield AnyOf(sim, [fast, slow])
+            return (sim.now, list(result.values()))
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == (5.0, ["fast"])
+
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+
+        def proc():
+            a = sim.timeout(5.0, value="a")
+            b = sim.timeout(50.0, value="b")
+            result = yield AllOf(sim, [a, b])
+            return (sim.now, sorted(result.values()))
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == (50.0, ["a", "b"])
+
+    def test_empty_all_of_fires_immediately(self):
+        sim = Simulator()
+
+        def proc():
+            yield AllOf(sim, [])
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_any_of_helper_method(self):
+        sim = Simulator()
+
+        def proc():
+            result = yield sim.any_of([sim.timeout(3.0, "x"), sim.event()])
+            return list(result.values())
+
+        p = sim.process(proc())
+        sim.run(until=10.0)
+        assert p.value == ["x"]
+
+
+class TestDeterminism:
+    def test_two_identical_runs_agree(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(n):
+                for i in range(n):
+                    yield sim.timeout(1.5 * (i + 1))
+                    log.append((sim.now, n, i))
+
+            for n in (3, 4, 5):
+                sim.process(worker(n))
+            sim.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,92 @@
+"""Runtime collectives: allreduce and broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.splitc import CM5, ModelTransport, SplitC
+
+
+def build(nprocs=4):
+    sim = Simulator()
+    tp = ModelTransport(sim, CM5, nprocs)
+    scs = [SplitC(tp, r) for r in range(nprocs)]
+    return sim, scs
+
+
+def run_all(sim, mains):
+    procs = [sim.process(m) for m in mains]
+    sim.run(until=1e9)
+    assert all(not p.is_alive for p in procs), "a rank stalled"
+
+
+class TestAllreduce:
+    def test_sums_all_partials(self):
+        sim, scs = build(4)
+        for sc in scs:
+            sc.alloc("red", 5)
+        got = {}
+
+        def main(sc):
+            total = yield from sc.allreduce_sum("red", float(sc.rank + 1))
+            got[sc.rank] = total
+
+        run_all(sim, [main(sc) for sc in scs])
+        assert all(v == 10.0 for v in got.values())  # 1+2+3+4
+
+    def test_repeated_reductions(self):
+        sim, scs = build(3)
+        for sc in scs:
+            sc.alloc("red", 4)
+        got = {r: [] for r in range(3)}
+
+        def main(sc):
+            for round_ in range(4):
+                total = yield from sc.allreduce_sum("red", float(round_))
+                got[sc.rank].append(total)
+
+        run_all(sim, [main(sc) for sc in scs])
+        for r in range(3):
+            assert got[r] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_undersized_array_rejected(self):
+        sim, scs = build(4)
+        for sc in scs:
+            sc.alloc("red", 3)  # needs 5
+
+        def main(sc):
+            with pytest.raises(ValueError, match="slots"):
+                yield from sc.allreduce_sum("red", 1.0)
+
+        run_all(sim, [main(scs[0])])
+
+
+class TestBroadcast:
+    def test_root_value_everywhere(self):
+        sim, scs = build(4)
+        for sc in scs:
+            sc.alloc("vec", 8)
+
+        def main(sc):
+            if sc.rank == 2:
+                sc.local("vec")[:] = np.arange(8) * 1.5
+            yield from sc.barrier()
+            yield from sc.broadcast("vec", root=2)
+
+        run_all(sim, [main(sc) for sc in scs])
+        for sc in scs:
+            assert np.array_equal(sc.local("vec"), np.arange(8) * 1.5)
+
+    def test_default_root_zero(self):
+        sim, scs = build(3)
+        for sc in scs:
+            sc.alloc("vec", 4)
+
+        def main(sc):
+            if sc.rank == 0:
+                sc.local("vec")[:] = 7.0
+            yield from sc.barrier()
+            yield from sc.broadcast("vec")
+
+        run_all(sim, [main(sc) for sc in scs])
+        assert all(np.all(sc.local("vec") == 7.0) for sc in scs)

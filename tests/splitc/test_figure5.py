@@ -1,0 +1,100 @@
+"""Figure 5 shape assertions: who wins where, normalized to the CM-5.
+
+The paper's claims (§6):
+
+* matmul "shows clearly the CPU and network bandwidth disadvantages of
+  the CM-5" -- ATM and Meiko win big;
+* sample sort small-message shows "the CM-5['s] per-message overhead
+  advantage";
+* "the bulk message version improves the Meiko and ATM cluster
+  performance dramatically with respect to the CM-5";
+* the ATM cluster "performs worse than the CM-5 in applications using
+  small messages (such as the small message radix sort and connected
+  components) but better in ones optimized for bulk transfers";
+* overall, the ATM cluster "is roughly equivalent to the Meiko CS-2".
+"""
+
+import pytest
+
+from repro.splitc.apps import (
+    blocked_matmul,
+    connected_components,
+    radix_sort,
+    sample_sort,
+)
+from repro.splitc.harness import run_on_machine
+from repro.splitc.machines import ATM_CLUSTER, CM5, MEIKO_CS2
+
+# moderate sizes keep the suite quick while preserving the ratios
+PARAMS = dict(nprocs=8)
+
+
+def normalized(app, **params):
+    rows = {}
+    for machine in (CM5, ATM_CLUSTER, MEIKO_CS2):
+        r = run_on_machine(machine, app, **PARAMS, **params)
+        assert r.verified, f"{app.__name__} wrong on {machine.name}"
+        rows[machine.name] = r.total_us
+    cm5 = rows["CM-5"]
+    return rows["U-Net ATM"] / cm5, rows["Meiko CS-2"] / cm5
+
+
+class TestMatmul:
+    def test_atm_and_meiko_beat_cm5(self):
+        atm, meiko = normalized(blocked_matmul, n_blocks=4, block=32)
+        assert atm < 0.7
+        assert meiko < 0.7
+
+
+class TestSampleSort:
+    def test_small_message_version_favors_cm5(self):
+        atm, meiko = normalized(sample_sort, n_per_proc=2048)
+        assert atm > 1.0  # CM-5's per-message overhead advantage
+        assert meiko > 1.0
+
+    def test_bulk_version_flips_the_ranking(self):
+        atm, meiko = normalized(sample_sort, n_per_proc=2048, bulk=True)
+        assert atm < 0.8
+        assert meiko < 0.8
+
+    def test_bulk_improves_atm_dramatically(self):
+        small_atm, _ = normalized(sample_sort, n_per_proc=2048)
+        bulk_atm, _ = normalized(sample_sort, n_per_proc=2048, bulk=True)
+        assert bulk_atm < small_atm / 2
+
+
+class TestRadixSort:
+    def test_small_message_version_favors_cm5(self):
+        atm, _ = normalized(radix_sort, n_per_proc=2048)
+        assert atm > 1.0
+
+    def test_bulk_version_favors_atm(self):
+        atm, meiko = normalized(radix_sort, n_per_proc=2048, bulk=True)
+        assert atm < 1.0
+        assert meiko < 1.0
+
+
+class TestConnectedComponents:
+    def test_small_message_app_favors_cm5(self):
+        atm, _ = normalized(connected_components, n_per_proc=512)
+        assert atm > 1.0
+
+
+class TestAtmVsMeiko:
+    def test_roughly_equivalent_overall(self):
+        """§8: 'networks of workstations can indeed rival these
+        specially-designed machines' -- geometric-mean ratio ATM/Meiko
+        across the suite is near 1."""
+        import math
+
+        ratios = []
+        for app, params in [
+            (blocked_matmul, dict(n_blocks=4, block=32)),
+            (sample_sort, dict(n_per_proc=2048)),
+            (sample_sort, dict(n_per_proc=2048, bulk=True)),
+            (radix_sort, dict(n_per_proc=2048, bulk=True)),
+        ]:
+            atm, meiko = normalized(app, **params)
+            ratios.append(atm / meiko)
+        gmean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        assert 0.4 < gmean < 2.0

@@ -1,0 +1,46 @@
+"""Table 2 machine parameters."""
+
+import pytest
+
+from repro.splitc.machines import ALL_MACHINES, ATM_CLUSTER, CM5, MEIKO_CS2
+
+
+class TestTable2:
+    def test_cm5_parameters(self):
+        assert CM5.overhead_us == 3.0
+        assert CM5.round_trip_us == 12.0
+        assert CM5.bandwidth_bps == 10e6
+
+    def test_meiko_parameters(self):
+        assert MEIKO_CS2.overhead_us == 11.0
+        assert MEIKO_CS2.round_trip_us == 25.0
+        assert MEIKO_CS2.bandwidth_bps == 39e6
+
+    def test_atm_parameters(self):
+        """The ATM column comes from the paper's own measurements:
+        6 us overhead, 71 us round trip, 14 MB/s."""
+        assert ATM_CLUSTER.overhead_us == 6.0
+        assert ATM_CLUSTER.round_trip_us == 71.0
+        assert ATM_CLUSTER.bandwidth_bps == 14e6
+
+    def test_cpu_ordering(self):
+        """CM-5 nodes are the slowest, the ATM cluster's the fastest."""
+        assert CM5.cpu_factor < MEIKO_CS2.cpu_factor < ATM_CLUSTER.cpu_factor
+
+    def test_network_characteristics_ordering(self):
+        """§6: 'the CM-5's ... network has lower overheads and
+        latencies'; the CS-2 has the fastest network bandwidth."""
+        assert CM5.overhead_us < ATM_CLUSTER.overhead_us < MEIKO_CS2.overhead_us
+        assert CM5.round_trip_us < MEIKO_CS2.round_trip_us < ATM_CLUSTER.round_trip_us
+        assert MEIKO_CS2.bandwidth_bps > ATM_CLUSTER.bandwidth_bps > CM5.bandwidth_bps
+
+    def test_compute_scaling(self):
+        assert ATM_CLUSTER.compute_us(320.0) == pytest.approx(100.0)
+        assert CM5.compute_us(320.0) == 320.0
+
+    def test_wire_latency_positive(self):
+        for machine in ALL_MACHINES:
+            assert machine.one_way_wire_us >= 1.0
+
+    def test_bulk_wire_time(self):
+        assert CM5.bulk_wire_us(10_000_000) == pytest.approx(1e6)
