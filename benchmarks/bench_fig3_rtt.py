@@ -6,7 +6,7 @@ longer messages from ~120 us at 48 bytes plus ~6 us/cell; UAM at 71 us;
 UAM transfers at roughly 135 us + N * 0.2 us.
 """
 
-from repro.bench import Series, raw_rtt
+from repro.bench import Series, parallel_map, raw_rtt
 from repro.bench.report import print_figure
 from repro.bench.uam import uam_single_cell_rtt, uam_xfer_rtt
 
@@ -15,16 +15,28 @@ UAM_SIZES = [0, 8, 16, 32]
 XFER_SIZES = [48, 128, 256, 512, 1024]
 
 
+def _raw_point(size):
+    return raw_rtt(size, n=4).mean_us
+
+
+def _uam_point(size):
+    return uam_single_cell_rtt(size, n=4).mean_us
+
+
+def _xfer_point(size):
+    return uam_xfer_rtt(size, n=4).mean_us
+
+
 def sweep():
     raw = Series("Raw U-Net")
-    for size in RAW_SIZES:
-        raw.add(size, raw_rtt(size, n=4).mean_us)
+    for size, us in zip(RAW_SIZES, parallel_map(_raw_point, RAW_SIZES)):
+        raw.add(size, us)
     uam = Series("UAM (single-cell request/reply)")
-    for size in UAM_SIZES:
-        uam.add(size, uam_single_cell_rtt(size, n=4).mean_us)
+    for size, us in zip(UAM_SIZES, parallel_map(_uam_point, UAM_SIZES)):
+        uam.add(size, us)
     xfer = Series("UAM xfer (reliable block transfer)")
-    for size in XFER_SIZES:
-        xfer.add(size, uam_xfer_rtt(size, n=4).mean_us)
+    for size, us in zip(XFER_SIZES, parallel_map(_xfer_point, XFER_SIZES)):
+        xfer.add(size, us)
     return raw, uam, xfer
 
 

@@ -8,12 +8,25 @@ block stops fitting one 4160-byte buffer.
 """
 
 from repro.atm.aal5 import aal5_limit_bandwidth
-from repro.bench import Series, raw_bandwidth
+from repro.bench import Series, parallel_map, raw_bandwidth
 from repro.bench.report import print_figure
 from repro.bench.uam import uam_get_bandwidth, uam_store_bandwidth
 
 RAW_SIZES = [40, 96, 192, 384, 512, 800, 1024, 2048, 4096, 5120]
 UAM_SIZES = [512, 1024, 2048, 4096, 4400, 5120]
+GET_SIZES = [1024, 4096]
+
+
+def _raw_point(size):
+    return raw_bandwidth(size).bytes_per_second / 1e6
+
+
+def _store_point(size):
+    return uam_store_bandwidth(size).bytes_per_second / 1e6
+
+
+def _get_point(size):
+    return uam_get_bandwidth(size).bytes_per_second / 1e6
 
 
 def sweep():
@@ -21,14 +34,14 @@ def sweep():
     for size in sorted(set(RAW_SIZES + UAM_SIZES)):
         limit.add(size, aal5_limit_bandwidth(size, 140e6) / 1e6)
     raw = Series("Raw U-Net")
-    for size in RAW_SIZES:
-        raw.add(size, raw_bandwidth(size).bytes_per_second / 1e6)
+    for size, mbps in zip(RAW_SIZES, parallel_map(_raw_point, RAW_SIZES)):
+        raw.add(size, mbps)
     store = Series("UAM store")
-    for size in UAM_SIZES:
-        store.add(size, uam_store_bandwidth(size).bytes_per_second / 1e6)
+    for size, mbps in zip(UAM_SIZES, parallel_map(_store_point, UAM_SIZES)):
+        store.add(size, mbps)
     get = Series("UAM get")
-    for size in (1024, 4096):
-        get.add(size, uam_get_bandwidth(size).bytes_per_second / 1e6)
+    for size, mbps in zip(GET_SIZES, parallel_map(_get_point, GET_SIZES)):
+        get.add(size, mbps)
     return limit, raw, store, get
 
 

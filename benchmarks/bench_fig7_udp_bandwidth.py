@@ -7,7 +7,7 @@ shown, as in the paper).  The kernel's saw-tooth comes from the mbuf
 allocation scheme (1 KB clusters + 112-byte small mbufs).
 """
 
-from repro.bench import Series
+from repro.bench import Series, parallel_map
 from repro.bench.ip import udp_bandwidth
 from repro.bench.report import print_figure
 
@@ -18,18 +18,24 @@ from repro.bench.report import print_figure
 SIZES = [1000, 1500, 1536, 2048, 3000, 4096, 6000, 8000]
 
 
+def _kernel_point(size):
+    return udp_bandwidth(size, kind="kernel-atm")
+
+
+def _unet_point(size):
+    return udp_bandwidth(size, kind="unet")
+
+
 def sweep():
     k_send = Series("kernel UDP (sender perceived)")
     k_recv = Series("kernel UDP (actually received)")
     losses = {}
-    for size in SIZES:
-        r = udp_bandwidth(size, kind="kernel-atm")
+    for size, r in zip(SIZES, parallel_map(_kernel_point, SIZES)):
         k_send.add(size, r.send_rate / 1e6)
         k_recv.add(size, r.recv_rate / 1e6)
         losses[size] = (r.drops, r.sent)
     unet = Series("U-Net UDP (received; no losses)")
-    for size in SIZES:
-        r = udp_bandwidth(size, kind="unet")
+    for size, r in zip(SIZES, parallel_map(_unet_point, SIZES)):
         assert r.drops == 0, "U-Net UDP must be lossless (§7.6)"
         unet.add(size, r.recv_rate / 1e6)
     return k_send, k_recv, unet, losses

@@ -6,25 +6,38 @@ using an 8 Kbyte window, while even with a 64K window the kernel
 TCP/ATM combination will not achieve more than 9-10 Mbytes/sec".
 """
 
-from repro.bench import Series
+from repro.bench import Series, parallel_map
 from repro.bench.ip import tcp_bandwidth
 from repro.bench.report import print_figure
 
 WRITE_SIZES = [1024, 2048, 4096, 8192]
 
+CURVES = (
+    ("unet", 8192, "U-Net TCP, 8K window"),
+    ("unet", 32768, "U-Net TCP, 32K window"),
+    ("kernel-atm", 8192, "kernel TCP, 8K window"),
+    ("kernel-atm", 64 * 1024 - 1, "kernel TCP, 64K window"),
+)
+
+
+def _point(params):
+    ws, kind, window = params
+    return tcp_bandwidth(ws, kind=kind, window=window).bytes_per_second / 1e6
+
 
 def sweep():
+    # One flat point list across all four curves: a single pool fan-out.
+    points = [
+        (ws, kind, window)
+        for kind, window, _ in CURVES
+        for ws in WRITE_SIZES
+    ]
+    values = parallel_map(_point, points)
     curves = []
-    for kind, window, label in (
-        ("unet", 8192, "U-Net TCP, 8K window"),
-        ("unet", 32768, "U-Net TCP, 32K window"),
-        ("kernel-atm", 8192, "kernel TCP, 8K window"),
-        ("kernel-atm", 64 * 1024 - 1, "kernel TCP, 64K window"),
-    ):
+    for i, (kind, window, label) in enumerate(CURVES):
         series = Series(label)
-        for ws in WRITE_SIZES:
-            r = tcp_bandwidth(ws, kind=kind, window=window)
-            series.add(ws, r.bytes_per_second / 1e6)
+        for j, ws in enumerate(WRITE_SIZES):
+            series.add(ws, values[i * len(WRITE_SIZES) + j])
         curves.append(series)
     return curves
 

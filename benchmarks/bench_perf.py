@@ -1,0 +1,128 @@
+"""Simulator performance harness: wall-clock, not simulated time.
+
+Measures how fast the simulator itself runs — engine events/sec plus
+the wall-clock of regenerating each paper figure — and records the
+numbers in ``BENCH_perf.json`` at the repository root so the perf
+trajectory is tracked from PR to PR.
+
+Run directly (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py          # default set
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_perf.py --all    # everything
+
+The simulated results these figures produce are deterministic; only the
+wall-clock numbers vary by machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+#: figure module -> rough weight; --quick keeps only the light ones.
+QUICK_FIGURES = ["bench_fig4_bandwidth"]
+DEFAULT_FIGURES = [
+    "bench_table1_sba100",
+    "bench_fig3_rtt",
+    "bench_fig4_bandwidth",
+    "bench_fig9_ip_latency",
+]
+ALL_FIGURES = DEFAULT_FIGURES + [
+    "bench_fig6_kernel_latency",
+    "bench_fig7_udp_bandwidth",
+    "bench_fig8_tcp_bandwidth",
+]
+
+
+def engine_events_per_sec(n_events: int = 200_000) -> dict:
+    """Raw engine throughput: timeout-driven processes vs bare callbacks."""
+    from repro.sim import Simulator
+
+    # generator-process path: one process chaining timeouts
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n_events):
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    t0 = time.perf_counter()
+    sim.run()
+    process_wall = time.perf_counter() - t0
+    process_rate = sim.events_processed / process_wall
+
+    # callback path: self-rescheduling bare callable
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0]:
+            sim.schedule_callback(1.0, tick)
+
+    sim.schedule_callback(1.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    callback_wall = time.perf_counter() - t0
+    callback_rate = sim.events_processed / callback_wall
+
+    return {
+        "process_events_per_sec": round(process_rate),
+        "callback_events_per_sec": round(callback_rate),
+        "n_events": n_events,
+    }
+
+
+def time_figure(module_name: str) -> dict:
+    module = importlib.import_module(module_name)
+    t0 = time.perf_counter()
+    module.sweep()
+    wall = time.perf_counter() - t0
+    return {"wall_s": round(wall, 3)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    parser.add_argument("--all", action="store_true", help="every figure")
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    from repro.bench import sweep_workers
+
+    figures = QUICK_FIGURES if args.quick else (
+        ALL_FIGURES if args.all else DEFAULT_FIGURES
+    )
+    report = {
+        "python": sys.version.split()[0],
+        "sweep_workers": sweep_workers(),
+        "engine": engine_events_per_sec(),
+        "figures": {},
+    }
+    print(f"engine: {report['engine']['process_events_per_sec']:,} events/s "
+          f"(processes), {report['engine']['callback_events_per_sec']:,} "
+          f"events/s (callbacks)")
+    for name in figures:
+        result = time_figure(name)
+        report["figures"][name] = result
+        print(f"{name}: {result['wall_s']:.2f}s")
+
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,11 @@ Paper: 21 us trap-level one-way + 7 us AAL5 send + 5 us AAL5 receive =
 from repro.bench import Table, sba100_cost_breakup
 
 
+def sweep():
+    """Perf-harness entry point (see ``benchmarks/bench_perf.py``)."""
+    return sba100_cost_breakup()
+
+
 def test_table1_sba100_cost_breakup(once):
     r = once(sba100_cost_breakup)
     table = Table(

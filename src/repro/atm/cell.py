@@ -9,7 +9,7 @@ charged on the wire so that link serialization times and the Figure 4
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 ATM_CELL_SIZE = 53
 ATM_HEADER_SIZE = 5
@@ -17,7 +17,7 @@ ATM_PAYLOAD_SIZE = 48
 MAX_VCI = 0xFFFF
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
     """A single ATM cell in flight."""
 
@@ -40,5 +40,16 @@ class Cell:
         return ATM_CELL_SIZE
 
     def with_vci(self, vci: int) -> "Cell":
-        """Copy of this cell relabelled with a new VCI (switch translation)."""
-        return Cell(vci=vci, payload=self.payload, last=self.last, seq=self.seq)
+        """Copy of this cell relabelled with a new VCI (switch translation).
+
+        The payload was validated when the cell was built; only the new
+        VCI needs checking, so this skips ``__init__`` entirely (it is
+        the hottest allocation on the switch forwarding path)."""
+        if not 0 <= vci <= MAX_VCI:
+            raise ValueError(f"VCI out of range: {vci}")
+        clone = object.__new__(Cell)
+        clone.vci = vci
+        clone.payload = self.payload
+        clone.last = self.last
+        clone.seq = self.seq
+        return clone

@@ -8,23 +8,7 @@
 
 from __future__ import annotations
 
-_CRC32_POLY = 0xEDB88320  # reflected form of 0x04C11DB7
-
-
-def _build_table() -> list:
-    table = []
-    for byte in range(256):
-        crc = byte
-        for _ in range(8):
-            if crc & 1:
-                crc = (crc >> 1) ^ _CRC32_POLY
-            else:
-                crc >>= 1
-        table.append(crc)
-    return table
-
-
-_CRC32_TABLE = _build_table()
+import zlib
 
 
 def crc32_aal5(data: bytes, crc: int = 0xFFFFFFFF) -> int:
@@ -38,11 +22,14 @@ def crc32_aal5(data: bytes, crc: int = 0xFFFFFFFF) -> int:
 
 
 def crc32_update(data: bytes, crc: int = 0xFFFFFFFF) -> int:
-    """Incremental CRC-32 update; returns the running (non-inverted) value."""
-    table = _CRC32_TABLE
-    for byte in data:
-        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
-    return crc
+    """Incremental CRC-32 update; returns the running (non-inverted) value.
+
+    ``zlib.crc32`` implements the same reflected 0xEDB88320 polynomial
+    but exposes the *finished* (inverted) value; bridging the two
+    conventions is the pair of XORs below.  Identical output to the old
+    pure-Python table loop, at C speed.
+    """
+    return zlib.crc32(data, crc ^ 0xFFFFFFFF) ^ 0xFFFFFFFF
 
 
 def crc32_finish(crc: int) -> int:

@@ -62,7 +62,7 @@ class AtmNetwork:
     ):
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.switch = Switch(
             sim,
             n_ports=n_ports,
@@ -90,7 +90,10 @@ class AtmNetwork:
             name=f"{name}.tx",
             tracer=self.tracer,
         )
-        tx_link.connect(self.switch.input_sink(index))
+        tx_link.connect(
+            self.switch.input_sink(index),
+            train_sink=self.switch.input_train_sink(index),
+        )
         port = NetworkPort(self, index, name, tx_link)
         self._ports[name] = port
         return port

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.atm.cell import Cell
-from repro.atm.link import TAXI_140_BPS, Link
+from repro.atm.link import TAXI_140_BPS, CellTrain, Link
 from repro.sim import Simulator, Tracer
 
 
@@ -44,7 +44,7 @@ class Switch:
         self.n_ports = n_ports
         self.switching_latency_us = switching_latency_us
         self.name = name
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self._routes: Dict[Tuple[int, int], SwitchRoute] = {}
         self.output_links = [
             Link(
@@ -83,18 +83,41 @@ class Switch:
 
         return sink
 
+    def input_train_sink(self, port: int):
+        """Train-aware variant of :meth:`input_sink`.
+
+        A :class:`CellTrain` is expanded here: cell ``i`` of the train is
+        forwarded exactly as if it had arrived individually at
+        ``train.arrival_us(i)``, so output-link contention and FIFO order
+        against other traffic are preserved cell-for-cell."""
+        self._check_port(port)
+
+        def sink(train: CellTrain, _port: int = port) -> None:
+            self._receive_train(_port, train)
+
+        return sink
+
     def _receive(self, port: int, cell: Cell) -> None:
         route = self._routes.get((port, cell.vci))
         if route is None:
             self.cells_unrouted += 1
             self.tracer.count(f"{self.name}.unrouted")
             return
-        self.sim.process(
-            self._forward(route, cell), name=f"{self.name}.fwd_p{port}"
-        )
+        self.sim.schedule_callback(self.switching_latency_us, self._forward, route, cell)
 
-    def _forward(self, route: SwitchRoute, cell: Cell):
-        yield self.sim.timeout(self.switching_latency_us)
+    def _receive_train(self, port: int, train: CellTrain) -> None:
+        # Fires at the first cell's arrival time; later cells are still
+        # on the wire, so each is received at its own arrival offset.
+        # The route is looked up per cell *at arrival time*: circuits
+        # torn down mid-train drop the tail cells, same as per-cell mode.
+        cells = train.cells
+        arrivals = train.arrivals_us
+        schedule_at = self.sim.schedule_callback_at
+        self._receive(port, cells[0])
+        for i in range(1, len(cells)):
+            schedule_at(arrivals[i], self._receive, port, cells[i])
+
+    def _forward(self, route: SwitchRoute, cell: Cell) -> None:
         self.cells_switched += 1
         self.output_links[route.out_port].send(cell.with_vci(route.out_vci))
 

@@ -4,6 +4,8 @@
   latency, windowed streaming bandwidth) against any NI model.
 * :mod:`repro.bench.report` -- table/series formatting helpers so every
   benchmark prints rows in the shape the paper reports.
+* :mod:`repro.bench.parallel` -- fan independent sweep points out across
+  a process pool (results stay bit-identical to a serial run).
 """
 
 from repro.bench.micro import (
@@ -12,6 +14,7 @@ from repro.bench.micro import (
     raw_rtt,
     sba100_cost_breakup,
 )
+from repro.bench.parallel import parallel_map, sweep_workers
 from repro.bench.report import Series, Table, format_bandwidth, format_us
 
 __all__ = [
@@ -20,7 +23,9 @@ __all__ = [
     "fore_interface_stats",
     "format_bandwidth",
     "format_us",
+    "parallel_map",
     "raw_bandwidth",
     "raw_rtt",
     "sba100_cost_breakup",
+    "sweep_workers",
 ]

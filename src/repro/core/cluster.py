@@ -49,7 +49,7 @@ class UNetCluster:
         ni_cls, default_costs = ni_factories[ni_kind]
 
         self.sim = sim
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.network = AtmNetwork(
             sim, n_ports=len(host_specs), bandwidth_bps=bandwidth_bps,
             tracer=self.tracer,

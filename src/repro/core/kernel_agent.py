@@ -55,7 +55,7 @@ class KernelAgent:
         self.ni = ni  # the network interface model this kernel controls
         self.limits = limits or ResourceLimits()
         self.auth = auth
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.endpoints: List[Endpoint] = []
         self.pinned_bytes = 0
         self._next_channel_id = 1

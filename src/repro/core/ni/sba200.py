@@ -101,10 +101,11 @@ class Sba200UNet(NetworkInterface):
                 )
             yield from self.i960.use(cost)
             cells = segment_pdu(payload, channel.tx_vci)
-            for cell in cells:
-                # Paced by the outbound cell queue: back-pressure
-                # propagates to the send ring when the fiber is busy.
-                yield self.port.tx_link.put(cell)
+            # Paced by the outbound cell queue: back-pressure propagates
+            # to the send ring when the fiber is busy.  The whole AAL5
+            # train goes down in one claim; the event fires when the
+            # last cell has been admitted, same pacing as per-cell puts.
+            yield self.port.tx_link.put_train(cells)
             desc.injected = True
             if desc.completion is not None and not desc.completion.triggered:
                 desc.completion.succeed()

@@ -69,7 +69,7 @@ class Workstation:
         self.name = name
         self.cpu = CpuModel(sim, mhz=mhz, name=f"{name}.cpu")
         self.costs = costs or HostCosts()
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.ni = None  # set by the NI model when attached
 
     @property

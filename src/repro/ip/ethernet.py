@@ -57,7 +57,7 @@ class EthernetLan:
 
     def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
         self.sim = sim
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self._ports: Dict[int, EthernetPort] = {}
         self._medium = Store(sim, name="ether.medium")
         self.frames_sent = 0

@@ -118,7 +118,8 @@ class TcpConnection:
         self._delack_deadline: Optional[float] = None
         self._delack_count = 0
         self._dup_acks = 0
-        self._timer_parked: Optional[Event] = None
+        self._tick_scheduled = False
+        self._timer_firing = False
         # events
         self._established = Event(self.sim)
         self._rcv_waiters: List[Event] = []
@@ -136,7 +137,8 @@ class TcpConnection:
         self.dropped_out_of_order = 0
         self._alive = True
         self.sim.process(self._sender_proc(), name=f"{name}.snd")
-        self.sim.process(self._timer_proc(), name=f"{name}.tmr")
+        # The protocol timer is armed lazily by _wake_timer: an idle
+        # connection costs no heap entries at all.
 
     # ------------------------------------------------------------------ API
     def connect(self):
@@ -493,27 +495,50 @@ class TcpConnection:
             self.rttvar_us += (abs(err) - self.rttvar_us) / 4
 
     def _wake_timer(self) -> None:
-        if self._timer_parked is not None and not self._timer_parked.triggered:
-            self._timer_parked.succeed()
-            self._timer_parked = None
+        """Arm the protocol timer tick if a deadline exists and the tick
+        loop is not already running (scheduled or mid-handler)."""
+        if self._tick_scheduled or self._timer_firing or not self._alive:
+            return
+        if self._retx_deadline is None and self._delack_deadline is None:
+            return
+        self._tick_scheduled = True
+        self.sim.schedule_callback(self.cfg.timer_granularity_us, self._tick)
 
-    def _timer_proc(self):
-        """Protocol timer ticking at the configured granularity -- but
-        parked on an event while no deadline is armed, so idle
-        connections generate no simulation load."""
-        g = self.cfg.timer_granularity_us
-        while self._alive:
-            if self._retx_deadline is None and self._delack_deadline is None:
-                self._timer_parked = Event(self.sim)
-                yield self._timer_parked
-                continue
-            yield self.sim.timeout(g)
-            now = self.sim.now
-            if self._delack_deadline is not None and now >= self._delack_deadline:
+    def _tick(self) -> None:
+        """One protocol timer tick (a bare callback, no process).
+
+        Deadline checks are free; a generator process is spawned only
+        when a deadline actually expired, since the expiry handlers
+        consume simulated time.  The next tick is scheduled after the
+        handlers complete, matching the old tick-loop pacing."""
+        self._tick_scheduled = False
+        if not self._alive:
+            return
+        now = self.sim.now
+        fire_delack = self._delack_deadline is not None and now >= self._delack_deadline
+        fire_retx = self._retx_deadline is not None and now >= self._retx_deadline
+        if fire_delack or fire_retx:
+            self._timer_firing = True
+            self.sim.process(
+                self._timer_fire(now, fire_delack), name=f"{self.name}.tmr"
+            )
+        elif self._retx_deadline is not None or self._delack_deadline is not None:
+            self._tick_scheduled = True
+            self.sim.schedule_callback(self.cfg.timer_granularity_us, self._tick)
+
+    def _timer_fire(self, tick_now: float, fire_delack: bool):
+        try:
+            if fire_delack:
                 self._delack_deadline = None
                 yield from self._send_ack(force=True)
-            if self._retx_deadline is not None and now >= self._retx_deadline:
+            # Re-read the retransmit deadline: the delayed-ack handler
+            # yields, and incoming segments processed meanwhile may have
+            # moved or cleared it (same re-check the tick loop had).
+            if self._retx_deadline is not None and tick_now >= self._retx_deadline:
                 yield from self._on_rto()
+        finally:
+            self._timer_firing = False
+        self._wake_timer()
 
     def _on_rto(self):
         self.timeouts += 1

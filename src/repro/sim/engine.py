@@ -4,6 +4,20 @@ Simulated time is a float in microseconds.  All scheduling is
 deterministic: events scheduled for the same instant fire in the order
 they were scheduled (a monotonically increasing sequence number breaks
 heap ties).
+
+Performance notes.  The event classes carry ``__slots__`` and the hot
+loop in :meth:`Simulator.run` is inlined (no per-step method dispatch or
+repeated attribute lookups).  For model code that only needs "call this
+function later" — link delivery, firmware poll ticks, protocol timers —
+:meth:`Simulator.schedule_callback` pushes a bare callable onto the heap
+without allocating an :class:`Event` at all.  Heap entries are therefore
+one of two tuple shapes::
+
+    (when, seq, event)            # a triggered Event
+    (when, seq, None, fn, args)   # a scheduled callback
+
+The sequence number is unique, so tuple comparison never reaches the
+third element and the two shapes coexist safely in one heap.
 """
 
 from __future__ import annotations
@@ -32,11 +46,17 @@ class Event:
     pops it off the schedule.  Events may only trigger once.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    #: Class-level default; only :class:`_InterruptEvent` overrides it.
+    _interrupting = False
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None  # None = pending
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -85,6 +105,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` microseconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -98,12 +120,22 @@ class Timeout(Event):
 class _Initialize(Event):
     """Internal event used to kick off a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
         self._ok = True
         self._value = None
         self.callbacks.append(process._resume)
         sim._schedule(self, 0.0)
+
+
+class _InterruptEvent(Event):
+    """The failed event delivering an :class:`Interrupt` to a process."""
+
+    __slots__ = ()
+
+    _interrupting = True
 
 
 class Process(Event):
@@ -113,6 +145,8 @@ class Process(Event):
     event triggers, the process resumes with the event's value (or the
     exception, if the event failed).
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -136,10 +170,9 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-        event = Event(self.sim)
+        event = _InterruptEvent(self.sim)
         event._ok = False
         event._value = Interrupt(cause)
-        event._interrupting = True
         event.callbacks.append(self._resume)
         self.sim._schedule(event, 0.0)
 
@@ -147,7 +180,7 @@ class Process(Event):
         if not self.is_alive:
             # An interrupt can race with normal termination; it is void
             # once the process has finished.
-            if getattr(event, "_interrupting", False):
+            if event._interrupting:
                 event._defused = True
             return
         self._target = None
@@ -190,6 +223,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for :class:`AnyOf` / :class:`AllOf`."""
 
+    __slots__ = ("events", "_count")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -231,12 +266,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when the first of ``events`` triggers."""
 
+    __slots__ = ()
+
     def _satisfied(self, n_done: int) -> bool:
         return n_done >= 1
 
 
 class AllOf(_Condition):
     """Triggers when all of ``events`` have triggered."""
+
+    __slots__ = ()
 
     def _satisfied(self, n_done: int) -> bool:
         return n_done == len(self.events)
@@ -255,10 +294,14 @@ class Simulator:
     10.0
     """
 
+    __slots__ = ("_now", "_heap", "_seq", "events_processed")
+
     def __init__(self):
         self._now = 0.0
         self._heap: List[tuple] = []
         self._seq = 0
+        #: Total heap entries processed (events + callbacks); perf metric.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -286,14 +329,50 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
+    def schedule_callback(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Fire ``fn(*args)`` after ``delay`` without allocating an Event.
+
+        This is the zero-allocation fast path for model code that never
+        needs to *wait* on the occurrence — link deliveries, poll ticks,
+        protocol timer ticks.  Callbacks interleave deterministically
+        with events (same time axis, same FIFO tie-breaking)."""
+        if delay < 0:
+            raise ValueError(f"negative callback delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, None, fn, args))
+
+    def schedule_callback_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_callback`.
+
+        Model code that derives occurrence times analytically (the link
+        serialization chain) uses this so that the same float lands on
+        the heap regardless of which instant the computation ran at —
+        ``now + (when - now)`` is not ``when`` in float arithmetic."""
+        if when < self._now:
+            raise ValueError(f"callback time {when} lies in the past (now={self._now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, None, fn, args))
+
+    def _schedule_event_at(self, event: Event, when: float) -> None:
+        """Push an already-triggered event at an absolute time."""
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event))
+
     def step(self) -> None:
-        """Process the next scheduled event."""
-        when, _, event = heapq.heappop(self._heap)
-        self._now = when
+        """Process the next scheduled heap entry (event or callback)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule: nothing left to run")
+        item = heapq.heappop(self._heap)
+        self._now = item[0]
+        self.events_processed += 1
+        event = item[2]
+        if event is None:
+            item[3](*item[4])
+            return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if event._ok is False and not getattr(event, "_defused", False):
+        if event._ok is False and not event._defused:
             # Nobody handled the failure: crash the simulation loudly.
             raise event._value
 
@@ -301,11 +380,30 @@ class Simulator:
         """Run until the heap drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError(f"until ({until}) lies in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self._now = until
-                return
-            self.step()
+        # Inlined step() body: one tuple pop and a branch per entry, with
+        # the heap and heappop bound to locals.
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return
+                item = pop(heap)
+                self._now = item[0]
+                processed += 1
+                event = item[2]
+                if event is None:
+                    item[3](*item[4])
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed += processed
         if until is not None:
             self._now = until
 

@@ -146,6 +146,9 @@ class Resource:
             heapq.heapify(self._queue)
             request.succeed()  # unblock any waiter, resource not held
             return
+        self._release_held()
+
+    def _release_held(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release on idle resource {self.name!r}")
         if self._queue:
@@ -155,10 +158,22 @@ class Resource:
             self._in_use -= 1
 
     def use(self, duration: float, priority: int = 0):
-        """Generator helper: hold the resource for ``duration``."""
-        request = self.request(priority)
-        yield request
-        try:
-            yield self.sim.timeout(duration)
-        finally:
-            self.release(request)
+        """Generator helper: hold the resource for ``duration``.
+
+        When the resource is free the request phase is skipped entirely
+        (it would succeed at the current instant anyway): one timeout is
+        the only scheduled occurrence.  Contended acquisitions take the
+        full FIFO request path."""
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self._release_held()
+        else:
+            request = self.request(priority)
+            yield request
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release(request)

@@ -337,3 +337,217 @@ class TestDeterminism:
             return log
 
         assert build() == build()
+
+
+class TestScheduleCallback:
+    def test_callback_fires_at_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_callback(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_callback_args_passed_through(self):
+        sim = Simulator()
+        got = []
+        sim.schedule_callback(1.0, lambda a, b: got.append((a, b)), "x", 2)
+        sim.run()
+        assert got == [("x", 2)]
+
+    def test_callbacks_interleave_with_events_fifo(self):
+        sim = Simulator()
+        order = []
+
+        def proc():
+            yield sim.timeout(10.0)
+            order.append("process")
+
+        sim.schedule_callback(10.0, lambda: order.append("early"))
+        sim.process(proc())
+        sim.schedule_callback(10.0, lambda: order.append("late"))
+        sim.run()
+        # same instant: strict scheduling order, regardless of kind.  The
+        # process's timeout is scheduled when the generator first runs (at
+        # t=0), after both callbacks were pushed.
+        assert order == ["early", "late", "process"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_callback(-1.0, lambda: None)
+
+    def test_absolute_variant_rejects_past(self):
+        sim = Simulator()
+        sim.schedule_callback(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_callback_at(1.0, lambda: None)
+
+    def test_run_until_stops_before_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_callback(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert fired == [] and sim.now == 5.0
+        sim.run()
+        assert fired == [True]
+
+
+class TestStepErrors:
+    def test_step_on_empty_schedule_raises_simulation_error(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="empty schedule"):
+            sim.step()
+
+    def test_step_error_is_not_a_bare_index_error(self):
+        sim = Simulator()
+        try:
+            sim.step()
+        except SimulationError:
+            pass  # SimulationError subclasses RuntimeError, not IndexError
+        assert isinstance(SimulationError("x"), RuntimeError)
+
+
+class TestInterruptRaces:
+    def test_interrupt_beats_simultaneous_succeed(self):
+        """Interrupting a process whose wait target succeeded in the same
+        instant (but has not yet been processed) delivers the interrupt:
+        interrupt() detaches the victim from its target."""
+        sim = Simulator()
+        gate = Event(sim)
+
+        def victim():
+            try:
+                value = yield gate
+                return value
+            except Interrupt as intr:
+                return ("interrupted", intr.cause)
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(5.0)
+            gate.succeed("done")
+            p.interrupt("won the race")
+
+        sim.process(attacker())
+        sim.run()
+        assert p.value == ("interrupted", "won the race")
+        assert gate.processed and gate.value == "done"
+
+    def test_interrupt_defused_when_victim_finishes_same_instant(self):
+        """An interrupt scheduled while the victim is alive, but processed
+        after the victim already finished in the same instant, is defused
+        rather than surfacing as an unhandled failure."""
+        sim = Simulator()
+        early = sim.timeout(0.0, "early-value")
+        sim.run()
+
+        def victim():
+            yield sim.timeout(1.0)
+            value = yield early  # already processed: resumes via a stub
+            return value
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1.0)
+            # The victim's resume stub is already on the heap ahead of the
+            # interrupt event, so the victim finishes first.
+            p.interrupt("too late")
+
+        sim.process(attacker())
+        sim.run()  # the defused interrupt must not raise
+        assert p.ok and p.value == "early-value"
+
+    def test_interrupt_while_target_already_processed(self):
+        """Interrupting a process whose wait target has already been
+        processed (the stub-event resume window) still delivers."""
+        sim = Simulator()
+        early = sim.timeout(0.0, "early-value")
+        log = []
+
+        def victim():
+            yield sim.timeout(1.0)
+            try:
+                value = yield early  # processed long ago: stub path
+                log.append(value)
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause)
+            return "never"
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1.0)
+            # victim's _target is the already-processed `early` event
+            p.interrupt("now")
+
+        sim.process(attacker())
+        sim.run()
+        assert log == ["early-value"]
+        assert p.value == ("interrupted", "now")
+        # The abandoned timeout(100) still drains from the heap.
+        assert sim.now == 101.0
+
+    def test_interrupt_dead_process_raises(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditionsOverProcessedEvents:
+    def test_anyof_with_pre_processed_event_fires_immediately(self):
+        sim = Simulator()
+        early = sim.timeout(0.0, "early")
+        sim.run()
+        assert early.processed
+        late = sim.timeout(50.0, "late")
+
+        def waiter():
+            result = yield sim.any_of([early, late])
+            return sim.now, result
+
+        p = sim.process(waiter())
+        sim.run()
+        when, result = p.value
+        assert when == 0.0
+        assert result == {early: "early"}
+
+    def test_allof_with_pre_processed_events_waits_for_last(self):
+        sim = Simulator()
+        e1 = sim.timeout(0.0, 1)
+        e2 = sim.timeout(0.0, 2)
+        sim.run()
+        e3 = sim.timeout(7.0, 3)
+
+        def waiter():
+            result = yield sim.all_of([e1, e2, e3])
+            return sim.now, result
+
+        p = sim.process(waiter())
+        sim.run()
+        when, result = p.value
+        assert when == 7.0
+        assert result == {e1: 1, e2: 2, e3: 3}
+
+    def test_allof_entirely_pre_processed(self):
+        sim = Simulator()
+        e1 = sim.timeout(0.0, "a")
+        e2 = sim.timeout(0.0, "b")
+        sim.run()
+
+        def waiter():
+            result = yield sim.all_of([e1, e2])
+            return result
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == {e1: "a", e2: "b"}
