@@ -1,0 +1,51 @@
+"""repro.analysis: static analysis + runtime invariants for the simulator.
+
+Three sub-systems (ISSUE 2):
+
+* **simlint** (:mod:`repro.analysis.linter`, :mod:`repro.analysis.rules`)
+  -- an AST-based lint pass with repo-specific rules: simulated time
+  only, seeded randomness, no ``x or Default()`` collaborator fallbacks,
+  engine yield discipline, ``schedule_callback`` arity, deterministic
+  iteration, ``__slots__`` on hot paths, no silent exception drops.
+  Run with ``python -m repro.analysis src/``.
+* **sanitizers** (:mod:`repro.analysis.sanitize`) -- runtime ownership
+  and queue-invariant checking for communication segments and
+  descriptor rings, armed by ``REPRO_SANITIZE=1``.
+* **determinism harness** (:mod:`repro.analysis.determinism`) -- runs a
+  benchmark twice under different ``PYTHONHASHSEED`` values and diffs
+  the complete event traces (``python -m repro.analysis --determinism``).
+
+This ``__init__`` stays import-light: the core data path imports
+:mod:`repro.analysis.sanitize` through here, so the linter machinery
+loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import sanitize  # noqa: F401  (light: stdlib + errors)
+
+_LAZY = {
+    "FileContext": "repro.analysis.linter",
+    "LintError": "repro.analysis.linter",
+    "Violation": "repro.analysis.linter",
+    "iter_python_files": "repro.analysis.linter",
+    "lint_file": "repro.analysis.linter",
+    "lint_paths": "repro.analysis.linter",
+    "Rule": "repro.analysis.rules",
+    "all_rules": "repro.analysis.rules",
+    "get_rules": "repro.analysis.rules",
+    "register": "repro.analysis.rules",
+    "run_ab": "repro.analysis.determinism",
+    "trace_run": "repro.analysis.determinism",
+}
+
+__all__ = sorted(_LAZY) + ["sanitize"]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,127 @@
+"""``python -m repro.analysis``: run simlint (and the determinism harness).
+
+Exit codes: 0 clean, 1 violations (or a determinism mismatch), 2 usage
+or lint-infrastructure errors (unreadable path, syntax error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.linter import LintError, lint_paths
+from repro.analysis.rules import all_rules, get_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "simlint: repo-specific static analysis for the U-Net "
+            "simulator, plus the run-to-run determinism harness"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--determinism",
+        action="store_true",
+        help=(
+            "instead of linting, run the fig3 RTT benchmark twice under "
+            "different PYTHONHASHSEEDs and diff the event traces"
+        ),
+    )
+    parser.add_argument(
+        "--det-rounds",
+        type=int,
+        default=2,
+        metavar="N",
+        help="ping-pong rounds per size for --determinism (default: 2)",
+    )
+    parser.add_argument(
+        "--det-sizes",
+        default="0,48",
+        metavar="BYTES,...",
+        help="message sizes for --determinism (default: 0,48)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:>18}  {rule.description}")
+        return 0
+
+    if args.determinism:
+        from repro.analysis.determinism import run_ab
+
+        sizes = tuple(int(s) for s in args.det_sizes.split(",") if s)
+        report = run_ab(sizes=sizes, rounds=args.det_rounds)
+        print(report.summary())
+        if not report.identical:
+            print(report.diff)
+            return 1
+        return 0
+
+    try:
+        rules = (
+            get_rules([name.strip() for name in args.select.split(",") if name.strip()])
+            if args.select
+            else all_rules()
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    try:
+        violations = lint_paths(args.paths, rules)
+    except LintError as exc:
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [v.to_dict() for v in violations],
+                    "rules": [rule.name for rule in rules],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format())
+        if violations:
+            print(f"simlint: {len(violations)} violation(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

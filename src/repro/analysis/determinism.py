@@ -1,0 +1,195 @@
+"""Run-to-run determinism harness (the fig3 RTT A/B check).
+
+Strings hash differently under every ``PYTHONHASHSEED``, so any set
+iteration or hash-order dependence in the scheduler shows up as a
+different event timeline between two interpreter runs.  The harness:
+
+1. runs a small fig3-style RTT ping-pong **in a subprocess** under seed
+   A, stepping the simulator manually and recording the exact time of
+   every processed heap entry (the full event trace), the tracer
+   counters, and the RTT samples at full float precision;
+2. repeats under seed B;
+3. diffs the two traces.  An empty diff proves the run is independent
+   of hash ordering.
+
+``python -m repro.analysis --determinism`` drives :func:`run_ab`;
+``python -m repro.analysis.determinism --emit`` is the per-seed child
+entry point.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+DEFAULT_SIZES: Tuple[int, ...] = (0, 48)
+DEFAULT_ROUNDS = 2
+DEFAULT_SEEDS: Tuple[str, ...] = ("1", "4242")
+
+#: Safety valve for the manual step loop.
+MAX_STEPS_PER_SIZE = 2_000_000
+
+
+def trace_run(
+    sizes: Sequence[int] = DEFAULT_SIZES, rounds: int = DEFAULT_ROUNDS
+) -> str:
+    """One fig3-style RTT run; returns the canonical event-trace text."""
+    from repro.core import UNetCluster
+    from repro.sim import Simulator, Tracer
+
+    out: List[str] = []
+    for size in sizes:
+        sim = Simulator()
+        tracer = Tracer(enabled=True)
+        cluster = UNetCluster.pair(sim, tracer=tracer)
+        sa = cluster.open_session("alice", "det-a")
+        sb = cluster.open_session("bob", "det-b")
+        ch_a, ch_b = cluster.connect_sessions(sa, sb, service="det-svc")
+        payload = bytes((i * 7 + 3) % 256 for i in range(size))
+        rtts: List[float] = []
+
+        def pinger():
+            yield from sa.provide_receive_buffers(4)
+            for _ in range(rounds):
+                t0 = sim.now
+                yield from sa.send_copy(ch_a.ident, payload)
+                desc = yield from sa.recv()
+                rtts.append(sim.now - t0)
+                if not desc.is_inline:
+                    yield from sa.repost_free(desc)
+
+        def ponger():
+            yield from sb.provide_receive_buffers(4)
+            for _ in range(rounds):
+                desc = yield from sb.recv()
+                echoed = sb.peek_payload(desc)
+                yield from sb.send_copy(ch_b.ident, echoed)
+                if not desc.is_inline:
+                    yield from sb.repost_free(desc)
+
+        sim.process(pinger(), name="det.pinger")
+        sim.process(ponger(), name="det.ponger")
+
+        # Manual step loop: the trace is the time of *every* heap entry.
+        times: List[float] = []
+        while sim.peek() != float("inf"):
+            times.append(sim.peek())
+            sim.step()
+            if len(times) >= MAX_STEPS_PER_SIZE:
+                raise RuntimeError(f"determinism run diverged at size {size}")
+
+        out.append(f"== size={size} rounds={rounds}")
+        out.append(f"events={sim.events_processed}")
+        out.append(f"rtts={[t.hex() for t in rtts]}")
+        out.append("timeline=" + ",".join(t.hex() for t in times))
+        for name in sorted(tracer.counters):
+            out.append(f"counter {name}={tracer.counters[name]}")
+        for record in tracer.records:
+            out.append(str(record))
+    return "\n".join(out) + "\n"
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    seeds: Tuple[str, ...]
+    identical: bool
+    diff: str
+    trace_lines: int
+
+    def summary(self) -> str:
+        status = "identical" if self.identical else "DIVERGED"
+        return (
+            f"determinism: PYTHONHASHSEED {' vs '.join(self.seeds)}: "
+            f"{status} ({self.trace_lines} trace lines)"
+        )
+
+
+def _spawn(seed: str, sizes: Sequence[int], rounds: int) -> str:
+    """Run :func:`trace_run` in a child interpreter under ``seed``."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis.determinism",
+            "--emit",
+            "--sizes", ",".join(str(s) for s in sizes),
+            "--rounds", str(rounds),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"determinism child (seed {seed}) failed:\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def run_ab(
+    seeds: Sequence[str] = DEFAULT_SEEDS,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    rounds: int = DEFAULT_ROUNDS,
+) -> DeterminismReport:
+    """Run the benchmark under each seed and diff the event traces."""
+    if len(seeds) < 2:
+        raise ValueError("need at least two hash seeds to compare")
+    traces = [_spawn(seed, sizes, rounds) for seed in seeds]
+    reference = traces[0]
+    diffs: List[str] = []
+    for seed, trace in zip(seeds[1:], traces[1:]):
+        if trace != reference:
+            diffs.extend(
+                difflib.unified_diff(
+                    reference.splitlines(),
+                    trace.splitlines(),
+                    fromfile=f"seed-{seeds[0]}",
+                    tofile=f"seed-{seed}",
+                    lineterm="",
+                )
+            )
+    return DeterminismReport(
+        seeds=tuple(seeds),
+        identical=not diffs,
+        diff="\n".join(diffs),
+        trace_lines=len(reference.splitlines()),
+    )
+
+
+def _main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis.determinism")
+    parser.add_argument("--emit", action="store_true",
+                        help="print this interpreter's event trace and exit")
+    parser.add_argument("--sizes", default=",".join(map(str, DEFAULT_SIZES)))
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    args = parser.parse_args()
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+    if args.emit:
+        sys.stdout.write(trace_run(sizes, args.rounds))
+        return 0
+    report = run_ab(sizes=sizes, rounds=args.rounds)
+    print(report.summary())
+    if not report.identical:
+        print(report.diff)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -1,0 +1,88 @@
+"""unseeded-random: all randomness must come from explicitly seeded RNGs.
+
+The module-level ``random.*`` / ``numpy.random.*`` functions draw from
+hidden global state, so two runs of "the same" simulation diverge.
+Model and workload code must thread a seeded instance
+(``np.random.default_rng(seed)`` / ``random.Random(seed)``) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: stdlib ``random`` module-level functions that use the global RNG.
+RANDOM_GLOBAL = frozenset(
+    {
+        "random", "randint", "randrange", "randbytes", "getrandbits",
+        "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+        "gauss", "normalvariate", "lognormvariate", "expovariate",
+        "betavariate", "gammavariate", "paretovariate", "vonmisesvariate",
+        "weibullvariate", "seed",
+    }
+)
+
+#: legacy ``numpy.random`` module-level functions (global RandomState).
+NUMPY_GLOBAL = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "bytes", "seed",
+        "uniform", "normal", "standard_normal", "exponential", "poisson",
+        "binomial", "beta", "gamma", "integers",
+    }
+)
+
+#: RNG constructors that must receive an explicit seed argument.
+SEED_REQUIRED = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+
+@register
+class UnseededRandomRule(Rule):
+    name = "unseeded-random"
+    description = (
+        "no global-state or unseeded RNGs; use np.random.default_rng(seed) "
+        "or random.Random(seed)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None:
+                continue
+            if qual in SEED_REQUIRED:
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{qual}() without a seed is entropy-seeded; pass an "
+                        f"explicit seed for reproducible runs",
+                    )
+                continue
+            module, _, attr = qual.rpartition(".")
+            if module == "random" and attr in RANDOM_GLOBAL:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"random.{attr}() uses the hidden global RNG; draw from "
+                    f"a seeded random.Random(seed) instance",
+                )
+            elif module == "numpy.random" and attr in NUMPY_GLOBAL:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"numpy.random.{attr}() uses the legacy global RandomState; "
+                    f"draw from a seeded np.random.default_rng(seed)",
+                )

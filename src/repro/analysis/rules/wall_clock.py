@@ -1,0 +1,62 @@
+"""wall-clock: no wall-clock time sources in sim-time code.
+
+Every timestamp in the repository is *simulated* microseconds
+(``Simulator.now``).  A single ``time.time()`` or ``datetime.now()``
+in model code silently couples results to the host machine; benchmark
+harnesses that intentionally measure the simulator's own speed disable
+the rule on the measuring lines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: Fully qualified names that read the host clock.
+BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    name = "wall-clock"
+    description = (
+        "no wall-clock time (time.time, perf_counter, datetime.now) in "
+        "sim-time code; use Simulator.now"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            qual = ctx.qualified_name(node)
+            if qual in BANNED:
+                # Attribute chains nest (a.b.c contains a.b); only report
+                # the full chain, which is the one that resolves.
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock source {qual}() in sim-time code; "
+                    f"use Simulator.now (simulated microseconds)",
+                )

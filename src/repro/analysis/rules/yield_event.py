@@ -1,0 +1,144 @@
+"""yield-event: generator processes may only yield engine event values.
+
+The engine resumes a process when the *Event* it yielded triggers; a
+yielded tuple, number, or arithmetic expression can never trigger and
+kills the process with "yielded a non-event" deep inside a run, far
+from the offending line.  This rule rejects yield operands that are
+provably not events: literals, displays, comprehensions, arithmetic,
+comparisons, f-strings, and lambdas.
+
+A bare ``yield`` placed directly after ``return`` is the established
+"make this function a generator" idiom and stays legal; any other bare
+``yield`` (which sends None to the engine) is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: Node types whose value can never be an Event instance.
+_NEVER_EVENT = (
+    ast.Constant,
+    ast.Tuple, ast.List, ast.Dict, ast.Set,
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.BinOp, ast.BoolOp, ast.Compare, ast.UnaryOp,
+    ast.JoinedStr, ast.FormattedValue, ast.Lambda,
+)
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+#: Decorators that change the meaning of ``yield``: the function is a
+#: context manager / fixture, not an engine process.
+_EXEMPT_DECORATORS = frozenset(
+    {"contextmanager", "asynccontextmanager", "fixture"}
+)
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function definitions."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _FUNC_NODES):
+                continue
+            stack.append(child)
+
+
+def _own_expressions(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk the expressions belonging directly to ``stmt``.
+
+    Child *statements* (loop/try/with bodies) are pruned -- they appear
+    in their own statement list with their own after-``return`` context
+    -- as are nested function definitions, which are linted as separate
+    scopes.
+    """
+    if isinstance(stmt, _FUNC_NODES):
+        return
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.stmt,) + _FUNC_NODES):
+                continue
+            stack.append(child)
+
+
+def _is_exempt_generator(ctx: FileContext, func: ast.AST) -> bool:
+    """True for @contextmanager / @fixture functions: their ``yield``
+    follows a different protocol than an engine process."""
+    for decorator in getattr(func, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = ctx.qualified_name(target)
+        if name is None:
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+        if name and name.rsplit(".", 1)[-1] in _EXEMPT_DECORATORS:
+            return True
+    return False
+
+
+def _statement_lists(func: ast.AST) -> Iterator[List[ast.stmt]]:
+    """Every statement list belonging to ``func`` itself."""
+    for node in _walk_own(func):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+
+
+@register
+class YieldEventRule(Rule):
+    name = "yield-event"
+    description = (
+        "generator processes may only yield engine events; literals, "
+        "tuples, and arithmetic can never trigger"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _is_exempt_generator(ctx, func):
+                continue
+            for block in _statement_lists(func):
+                for index, stmt in enumerate(block):
+                    yield from self._check_statement(ctx, block, index, stmt)
+
+    def _check_statement(
+        self, ctx: FileContext, block: List[ast.stmt], index: int, stmt: ast.stmt
+    ) -> Iterator[Violation]:
+        for node in _own_expressions(stmt):
+            if not isinstance(node, ast.Yield):
+                continue
+            value = node.value
+            if value is None or (
+                isinstance(value, ast.Constant) and value.value is None
+            ):
+                after_return = index > 0 and isinstance(block[index - 1], ast.Return)
+                if not after_return:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "bare `yield` sends None to the engine, which is not "
+                        "an event (a bare yield directly after `return` -- the "
+                        "make-this-a-generator idiom -- is exempt)",
+                    )
+            elif isinstance(value, _NEVER_EVENT):
+                kind = type(value).__name__
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"yielded a {kind}, which can never be an engine event; "
+                    f"processes may only yield Event/Timeout/Process/"
+                    f"AnyOf/AllOf values",
+                )
