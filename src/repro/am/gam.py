@@ -95,7 +95,7 @@ class UAM:
 
     def __init__(self, session: UNetSession, config: Optional[UamConfig] = None):
         self.session = session
-        self.cfg = config or UamConfig()
+        self.cfg = config if config is not None else UamConfig()
         if self.cfg.window >= 128:
             raise UamError("window must be < 128 (8-bit sequence space)")
         self.host = session.host

@@ -53,7 +53,7 @@ class KernelAgent:
     ):
         self.host = host
         self.ni = ni  # the network interface model this kernel controls
-        self.limits = limits or ResourceLimits()
+        self.limits = limits if limits is not None else ResourceLimits()
         self.auth = auth
         self.tracer = tracer if tracer is not None else Tracer()
         self.endpoints: List[Endpoint] = []

@@ -35,7 +35,7 @@ class ForeFirmwareNI(Sba200UNet):
         costs: Optional[ForeCosts] = None,
         tracer: Optional[Tracer] = None,
     ):
-        fore = costs or ForeCosts()
+        fore = costs if costs is not None else ForeCosts()
         translated = Sba200Costs(
             host_post_send_us=fore.host_send_us,
             host_recv_us=fore.host_recv_us,

@@ -34,7 +34,7 @@ class Sba100UNet(NetworkInterface):
         costs: Optional[Sba100Costs] = None,
         tracer: Optional[Tracer] = None,
     ):
-        self.costs = costs or Sba100Costs()
+        self.costs = costs if costs is not None else Sba100Costs()
         super().__init__(
             host, port, input_fifo_cells=self.costs.input_fifo_cells, tracer=tracer
         )

@@ -42,7 +42,7 @@ class Sba200UNet(NetworkInterface):
         tracer: Optional[Tracer] = None,
         single_cell_optimization: bool = True,
     ):
-        self.costs = costs or Sba200Costs()
+        self.costs = costs if costs is not None else Sba200Costs()
         super().__init__(
             host, port, input_fifo_cells=self.costs.input_fifo_cells, tracer=tracer
         )

@@ -68,7 +68,7 @@ class Workstation:
         self.sim = sim
         self.name = name
         self.cpu = CpuModel(sim, mhz=mhz, name=f"{name}.cpu")
-        self.costs = costs or HostCosts()
+        self.costs = costs if costs is not None else HostCosts()
         self.tracer = tracer if tracer is not None else Tracer()
         self.ni = None  # set by the NI model when attached
 

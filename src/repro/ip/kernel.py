@@ -244,7 +244,7 @@ class KernelStack:
         self.sim = host.sim
         self.device = device
         self.addr = addr
-        self.costs = costs or KernelCosts()
+        self.costs = costs if costs is not None else KernelCosts()
         self._udp_sockets: Dict[int, "KernelUdpSocket"] = {}
         self._tcp_conns: Dict[Tuple[int, int], TcpConnection] = {}
         self._tcp_listeners: Dict[int, TcpConnection] = {}

@@ -72,7 +72,7 @@ class UnetIpStack:
         self.host = session.host
         self.sim = session.host.sim
         self.addr = addr
-        self.costs = costs or UnetIpCosts()
+        self.costs = costs if costs is not None else UnetIpCosts()
         self._routes: Dict[int, int] = {}  # peer addr -> channel id
         self._channel_peer: Dict[int, int] = {}
         self._udp_sockets: Dict[int, "UnetUdpSocket"] = {}
@@ -130,7 +130,7 @@ class UnetIpStack:
         local_port = local_port or self._alloc_port()
         env = _UnetTcpEnv(self, peer_addr, channel_id=channel_id)
         conn = TcpConnection(
-            env, config or TcpConfig(),
+            env, config if config is not None else TcpConfig(),
             src_port=local_port, dst_port=port,
             name=f"tcp.{self.addr}:{local_port}",
         )
@@ -147,7 +147,7 @@ class UnetIpStack:
         """Passive open on ``port`` (peer known a priori: no ARP here)."""
         env = _UnetTcpEnv(self, peer_addr, channel_id=channel_id)
         conn = TcpConnection(
-            env, config or TcpConfig(),
+            env, config if config is not None else TcpConfig(),
             src_port=port, dst_port=0,
             name=f"tcp.{self.addr}:{port}",
         )

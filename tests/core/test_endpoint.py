@@ -14,7 +14,7 @@ from repro.sim import Simulator
 
 
 def make_endpoint(sim=None, **kwargs):
-    sim = sim or Simulator()
+    sim = sim if sim is not None else Simulator()
     defaults = dict(name="ep", owner="me", segment_size=4096)
     defaults.update(kwargs)
     return Endpoint(sim, **defaults)
