@@ -28,7 +28,9 @@ from repro.core.errors import (
     ChannelError,
     ProtectionError,
     QueueFullError,
+    QueueInvariantError,
     ResourceLimitError,
+    SegmentOwnershipError,
     SegmentRangeError,
     UNetError,
 )
@@ -55,10 +57,12 @@ __all__ = [
     "Mux",
     "ProtectionError",
     "QueueFullError",
+    "QueueInvariantError",
     "RecvDescriptor",
     "ResourceLimitError",
     "ResourceLimits",
     "SINGLE_CELL_MAX",
+    "SegmentOwnershipError",
     "SegmentRangeError",
     "SendDescriptor",
     "UNetCluster",

@@ -27,5 +27,19 @@ class SegmentRangeError(UNetError, IndexError):
     """An access fell outside the communication segment or a buffer."""
 
 
+class SegmentOwnershipError(SegmentRangeError):
+    """A buffer operation violated segment ownership: double free, free
+    of a never-allocated or overlapping region, a use-after-free write,
+    or a leak at teardown.  §3.1/§3.4 push buffer management into user
+    code; this error is the architecture catching user code cheating.
+    """
+
+
 class QueueFullError(UNetError):
     """A descriptor ring was full (back-pressure, paper §3.1)."""
+
+
+class QueueInvariantError(UNetError):
+    """A descriptor ring broke an internal invariant: occupancy above
+    capacity, or a descriptor recycled onto the ring before the
+    consumer popped it (detected by the REPRO_SANITIZE=1 sanitizer)."""

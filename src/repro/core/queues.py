@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional
 
+from repro.analysis import sanitize
 from repro.sim import Event, Simulator
 
 
@@ -44,6 +45,7 @@ class DescriptorRing:
         self.pushed = 0
         self.popped = 0
         self.rejected = 0
+        self._san = sanitize.RingSanitizer(name) if sanitize.enabled() else None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -65,6 +67,8 @@ class DescriptorRing:
         if self.is_full:
             self.rejected += 1
             return False
+        if self._san is not None:
+            self._san.on_push(item, len(self._items), self.capacity)
         self._items.append(item)
         self.pushed += 1
         if self._nonempty_waiters:
@@ -82,6 +86,8 @@ class DescriptorRing:
         if not self._items:
             return None
         item = self._items.popleft()
+        if self._san is not None:
+            self._san.on_pop(item)
         self.popped += 1
         if self._space_waiters:
             waiters, self._space_waiters = self._space_waiters, []
@@ -127,6 +133,8 @@ class DescriptorRing:
         """Pop everything currently queued (single-upcall consumption, §3.1)."""
         items = list(self._items)
         self._items.clear()
+        if self._san is not None:
+            self._san.on_drain(items)
         self.popped += len(items)
         if items and self._space_waiters:
             waiters, self._space_waiters = self._space_waiters, []

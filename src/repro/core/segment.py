@@ -10,9 +10,10 @@ convenience for applications, but raw offset access is the primitive.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.core.errors import SegmentRangeError
+from repro.analysis import sanitize
+from repro.core.errors import SegmentOwnershipError, SegmentRangeError
 
 #: NI DMA alignment requirement for buffers (paper §3.4).
 BUFFER_ALIGNMENT = 8
@@ -37,6 +38,14 @@ class CommSegment:
         self._mem = bytearray(size)
         # First-fit free list of (offset, length), kept sorted and merged.
         self._free: List[Tuple[int, int]] = [(0, size)]
+        # Live allocations (offset -> aligned length): free() validates
+        # against this table, so ownership bugs fail at the bad call.
+        self._allocs: Dict[int, int] = {}
+        self._san = (
+            sanitize.SegmentSanitizer(owner or "segment")
+            if sanitize.enabled()
+            else None
+        )
 
     # -- raw access ------------------------------------------------------
     def check_range(self, offset: int, length: int) -> None:
@@ -47,6 +56,8 @@ class CommSegment:
 
     def write(self, offset: int, data: bytes) -> None:
         self.check_range(offset, len(data))
+        if self._san is not None:
+            self._san.check_write(offset, len(data))
         self._mem[offset : offset + len(data)] = data
 
     def read(self, offset: int, length: int) -> bytes:
@@ -65,6 +76,9 @@ class CommSegment:
                     del self._free[i]
                 else:
                     self._free[i] = (off + need, avail - need)
+                self._allocs[off] = need
+                if self._san is not None:
+                    self._san.on_alloc(off, need)
                 return off
         raise SegmentRangeError(
             f"segment exhausted: cannot allocate {length} bytes "
@@ -75,6 +89,11 @@ class CommSegment:
         """Return a buffer to the free list (must match a prior alloc)."""
         need = align_up(length)
         self.check_range(offset, need)
+        if self._allocs.get(offset) != need:
+            raise SegmentOwnershipError(self._describe_bad_free(offset, need))
+        del self._allocs[offset]
+        if self._san is not None:
+            self._san.on_free(offset, need)
         self._free.append((offset, need))
         self._free.sort()
         merged: List[Tuple[int, int]] = []
@@ -82,12 +101,53 @@ class CommSegment:
             if merged and merged[-1][0] + merged[-1][1] == off:
                 merged[-1] = (merged[-1][0], merged[-1][1] + ln)
             elif merged and merged[-1][0] + merged[-1][1] > off:
-                raise SegmentRangeError(
+                raise SegmentOwnershipError(
                     f"double free or overlapping free at offset {off}"
                 )
             else:
                 merged.append((off, ln))
         self._free = merged
+
+    def _describe_bad_free(self, offset: int, need: int) -> str:
+        """Classify a rejected free for the error message (cold path)."""
+        where = f"segment of {self.owner!r}" if self.owner else "segment"
+        got = self._allocs.get(offset)
+        if got is not None:
+            return (
+                f"free length mismatch at offset {offset} in {where}: "
+                f"{got} bytes allocated, {need} freed"
+            )
+        if self._san is not None and self._san.was_freed(offset):
+            return f"double free of buffer at offset {offset} in {where}"
+        end = offset + need
+        for live_off, live_len in self._allocs.items():
+            if live_off < end and offset < live_off + live_len:
+                return (
+                    f"overlapping free [{offset}, {end}) in {where} cuts "
+                    f"into live allocation [{live_off}, {live_off + live_len})"
+                )
+        return (
+            f"free of never-allocated offset {offset} in {where} "
+            f"(or already freed)"
+        )
+
+    def check_teardown(self) -> None:
+        """Raise :class:`SegmentOwnershipError` when allocations leak.
+
+        Only meaningful for code that manages buffers through the
+        convenience allocator; raw-offset users have nothing to leak.
+        """
+        if self._san is not None:
+            self._san.check_teardown()
+        elif self._allocs:
+            raise SegmentOwnershipError(
+                f"leak-at-teardown: {len(self._allocs)} live allocation(s) "
+                f"in segment of {self.owner!r}"
+            )
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocs)
 
     @property
     def free_bytes(self) -> int:
