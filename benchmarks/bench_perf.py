@@ -1,3 +1,5 @@
+# simlint: disable-file=wall-clock -- this harness measures the real
+# wall-clock speed of the engine itself, not simulated time.
 """Simulator performance harness: wall-clock, not simulated time.
 
 Measures how fast the simulator itself runs — engine events/sec plus

@@ -229,7 +229,7 @@ class TestProcesses:
         sim = Simulator()
 
         def bad():
-            yield 5
+            yield 5  # simlint: disable=yield-event
 
         sim.process(bad())
         with pytest.raises(SimulationError):
