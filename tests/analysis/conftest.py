@@ -1,0 +1,34 @@
+"""Shared fixtures for the analysis-layer tests."""
+
+import pytest
+
+from repro.analysis import sanitize
+
+
+@pytest.fixture
+def sanitized_runtime():
+    """Arm the runtime sanitizers for one test.
+
+    Segments and rings created inside the test carry live checkers;
+    at teardown every sanitized segment is verified leak-free.
+    """
+    with sanitize.sanitized():
+        yield
+
+
+@pytest.fixture
+def sanitizers_off():
+    """Force the sanitizers off (tests of the zero-overhead path must
+    hold even when the suite runs under REPRO_SANITIZE=1)."""
+    previous = sanitize.enable(False)
+    yield
+    sanitize.enable(previous)
+
+
+@pytest.fixture
+def sanitizers_on():
+    """Arm the sanitizers without the leak check at exit (for tests
+    that deliberately leave allocations behind)."""
+    previous = sanitize.enable(True)
+    yield
+    sanitize.enable(previous)
