@@ -22,7 +22,20 @@ loads lazily on first attribute access.
 
 from __future__ import annotations
 
+import os as _os
+
 from repro.analysis import sanitize  # noqa: F401  (light: stdlib + errors)
+
+if _os.environ.get("REPRO_RACE", "").strip().lower() not in (
+    "", "0", "false", "off", "no",
+):
+    # Arm the schedule-order race detector for every simulator created
+    # from here on (REPRO_RACE=1).  This runs at repro.analysis import
+    # time, which every data-path module reaches before building a
+    # Simulator; the programmatic equivalent is race.detected().
+    from repro.analysis import race as _race
+
+    _race.enable()
 
 _LAZY = {
     "FileContext": "repro.analysis.linter",
@@ -37,6 +50,10 @@ _LAZY = {
     "register": "repro.analysis.rules",
     "run_ab": "repro.analysis.determinism",
     "trace_run": "repro.analysis.determinism",
+    "RaceFinding": "repro.analysis.race",
+    "RaceReport": "repro.analysis.race",
+    "RaceTracker": "repro.analysis.race",
+    "race_check": "repro.analysis.perturb",
 }
 
 __all__ = sorted(_LAZY) + ["sanitize"]

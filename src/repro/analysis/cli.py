@@ -66,7 +66,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES,...",
         help="message sizes for --determinism (default: 0,48)",
     )
+    parser.add_argument(
+        "--race-check",
+        metavar="SCENARIO",
+        help=(
+            "instead of linting, run the named scenario (fig3..fig8, "
+            "sample_sort, a comma-separated list, or 'all') under fifo, "
+            "lifo, and seeded-random same-timestamp tie-break orders and "
+            "report CONFIRMED vs BENIGN schedule-order races"
+        ),
+    )
+    parser.add_argument(
+        "--race-orders",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of seeded-random orders for --race-check (default: 2)",
+    )
+    parser.add_argument(
+        "--race-verbose",
+        action="store_true",
+        help="print every flagged race, not just diverging scenarios",
+    )
     return parser
+
+
+def _run_race_check(args) -> int:
+    from repro.analysis.perturb import check_all, scenario_names
+
+    if args.race_check == "all":
+        names = scenario_names()
+    else:
+        names = [n.strip() for n in args.race_check.split(",") if n.strip()]
+        unknown = [n for n in names if n not in scenario_names()]
+        if unknown:
+            print(
+                f"race-check: unknown scenario(s) {', '.join(unknown)} "
+                f"(known: {', '.join(scenario_names())})",
+                file=sys.stderr,
+            )
+            return 2
+    verdicts = check_all(names, random_orders=args.race_orders)
+    failed = False
+    for verdict in verdicts:
+        if verdict.diverged or args.race_verbose:
+            print(verdict.format())
+        else:
+            print(verdict.summary())
+        if verdict.diverged:
+            failed = True
+    return 1 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for rule in all_rules():
             print(f"{rule.name:>18}  {rule.description}")
         return 0
+
+    if args.race_check:
+        return _run_race_check(args)
 
     if args.determinism:
         from repro.analysis.determinism import run_ab

@@ -64,7 +64,9 @@ def get_rules(names: Iterable[str]) -> List[Rule]:
 # Built-in rules: importing each module triggers its @register.
 from repro.analysis.rules import (  # noqa: E402,F401
     callback_arity,
+    mutable_default,
     or_default,
+    schedule_shared_state,
     silent_except,
     slots_hot_path,
     unordered_iter,

@@ -1,0 +1,71 @@
+"""mutable-default: mutable default arguments are shared state.
+
+``def f(x, buf=[])`` evaluates the default once at definition time, so
+every call without the argument shares one list.  In the simulator this
+is a determinism hazard of the same family as module-level mutables:
+state leaks between sessions, benchmarks, and perturbation re-runs of
+the same scenario, making the second run depend on the first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: call targets whose result is a fresh mutable container
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+}
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    description = (
+        "default argument values must not be mutable (evaluated once, "
+        "shared across every call)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    label = (
+                        "<lambda>" if isinstance(node, ast.Lambda)
+                        else node.name
+                    )
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default {ast.unparse(default)!r} in "
+                        f"{label}() is evaluated once and shared by every "
+                        f"call; default to None and create it in the body",
+                    )

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.atm.cell import Cell
 from repro.sim import Event, Simulator, Tracer
+from repro.sim import engine as _engine
 
 #: 140 Mbit/s TAXI fiber used throughout the paper's testbed.
 TAXI_140_BPS = 140_000_000.0
@@ -132,6 +133,8 @@ class Link:
 
     def _claim(self, cell: Cell) -> float:
         """Claim the next serialization slot; returns the finish time."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"link:{self.name}", "w")
         now = self.sim._now
         start = self._busy_until
         if start < now:
@@ -162,6 +165,8 @@ class Link:
         """
         self._prune()
         if len(self._starts) >= self.capacity:
+            if _engine.access_hook is not None:
+                _engine.access_hook(id(self), f"link:{self.name}", "r")
             self.cells_dropped += 1
             self.tracer.count(f"{self.name}.txq_drop")
             return False

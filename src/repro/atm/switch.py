@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 from repro.atm.cell import Cell
 from repro.atm.link import TAXI_140_BPS, CellTrain, Link
 from repro.sim import Simulator, Tracer
+from repro.sim import engine as _engine
 
 
 @dataclass(frozen=True)
@@ -66,9 +67,13 @@ class Switch:
         key = (in_port, in_vci)
         if key in self._routes:
             raise ValueError(f"route already exists for port {in_port} VCI {in_vci}")
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self._routes), f"routes:{self.name}", "w")
         self._routes[key] = SwitchRoute(out_port, out_vci)
 
     def remove_route(self, in_port: int, in_vci: int) -> None:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self._routes), f"routes:{self.name}", "w")
         del self._routes[(in_port, in_vci)]
 
     def has_route(self, in_port: int, in_vci: int) -> bool:
@@ -98,6 +103,8 @@ class Switch:
         return sink
 
     def _receive(self, port: int, cell: Cell) -> None:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self._routes), f"routes:{self.name}", "r")
         route = self._routes.get((port, cell.vci))
         if route is None:
             self.cells_unrouted += 1

@@ -18,6 +18,7 @@ from typing import Any, Deque, List, Optional
 
 from repro.analysis import sanitize
 from repro.sim import Event, Simulator
+from repro.sim import engine as _engine
 
 
 class DescriptorRing:
@@ -64,6 +65,10 @@ class DescriptorRing:
 
     def push(self, item: Any) -> bool:
         """Append a descriptor; False (back-pressure) when the ring is full."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(
+                id(self), f"ring:{self.name}", "r" if self.is_full else "w"
+            )
         if self.is_full:
             self.rejected += 1
             return False
@@ -83,6 +88,10 @@ class DescriptorRing:
 
     def pop(self) -> Optional[Any]:
         """Remove and return the oldest descriptor, or None when empty."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(
+                id(self), f"ring:{self.name}", "w" if self._items else "r"
+            )
         if not self._items:
             return None
         item = self._items.popleft()
@@ -96,6 +105,8 @@ class DescriptorRing:
         return item
 
     def peek(self) -> Optional[Any]:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"ring:{self.name}", "r")
         return self._items[0] if self._items else None
 
     def wait_nonempty(self) -> Event:
@@ -131,6 +142,10 @@ class DescriptorRing:
 
     def drain(self) -> List[Any]:
         """Pop everything currently queued (single-upcall consumption, §3.1)."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(
+                id(self), f"ring:{self.name}", "w" if self._items else "r"
+            )
         items = list(self._items)
         self._items.clear()
         if self._san is not None:

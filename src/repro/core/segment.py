@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.analysis import sanitize
 from repro.core.errors import SegmentOwnershipError, SegmentRangeError
+from repro.sim import engine as _engine
 
 #: NI DMA alignment requirement for buffers (paper §3.4).
 BUFFER_ALIGNMENT = 8
@@ -58,10 +59,14 @@ class CommSegment:
         self.check_range(offset, len(data))
         if self._san is not None:
             self._san.check_write(offset, len(data))
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"seg:{self.owner or 'segment'}", "w")
         self._mem[offset : offset + len(data)] = data
 
     def read(self, offset: int, length: int) -> bytes:
         self.check_range(offset, length)
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"seg:{self.owner or 'segment'}", "r")
         return bytes(self._mem[offset : offset + length])
 
     # -- convenience allocator --------------------------------------------
@@ -70,6 +75,8 @@ class CommSegment:
         if length <= 0:
             raise ValueError("allocation length must be positive")
         need = align_up(length)
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"seg:{self.owner or 'segment'}", "w")
         for i, (off, avail) in enumerate(self._free):
             if avail >= need:
                 if avail == need:
@@ -89,6 +96,8 @@ class CommSegment:
         """Return a buffer to the free list (must match a prior alloc)."""
         need = align_up(length)
         self.check_range(offset, need)
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"seg:{self.owner or 'segment'}", "w")
         if self._allocs.get(offset) != need:
             raise SegmentOwnershipError(self._describe_bad_free(offset, need))
         del self._allocs[offset]

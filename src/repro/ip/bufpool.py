@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.core import SendDescriptor, UNetSession
 from repro.core.errors import UNetError
+from repro.sim import engine as _engine
 
 
 class RefBuffer:
@@ -37,12 +38,16 @@ class RefBuffer:
     def incref(self) -> "RefBuffer":
         if self.refs <= 0:
             raise UNetError("incref on a released buffer")
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"refbuf@{self.offset}", "w")
         self.refs += 1
         return self
 
     def decref(self) -> None:
         if self.refs <= 0:
             raise UNetError("decref below zero")
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"refbuf@{self.offset}", "w")
         self.refs -= 1
         if self.refs == 0:
             self.pool._release(self)
@@ -85,6 +90,10 @@ class SegmentBufferPool:
 
     def try_acquire(self) -> Optional[RefBuffer]:
         """Take a buffer with refcount 1, or None when exhausted."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(
+                id(self), "bufpool", "w" if self._free else "r"
+            )
         if not self._free:
             self.exhaustions += 1
             return None
@@ -95,4 +104,6 @@ class SegmentBufferPool:
         return buffer
 
     def _release(self, buffer: RefBuffer) -> None:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), "bufpool", "w")
         self._free.append(buffer)

@@ -25,6 +25,28 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+#: Schedule-order instrumentation (installed by :mod:`repro.analysis.race`).
+#: ``_monitor_factory`` builds one ShadowScheduler monitor per Simulator
+#: created while armed; ``access_hook`` is called by state objects
+#: (segments, rings, resources, links) on reads/writes so the race
+#: detector can attribute accesses to the executing heap entry.  Both are
+#: ``None`` in normal operation: unmonitored simulators carry ``self._mon
+#: = None`` and the hot run loop is entirely untouched.
+_monitor_factory: Optional[Callable[[], Any]] = None
+access_hook: Optional[Callable[[int, str, str], None]] = None
+
+
+def set_instrumentation(
+    monitor_factory: Optional[Callable[[], Any]],
+    access: Optional[Callable[[int, str, str], None]] = None,
+) -> None:
+    """Install (or clear, with ``None``) the schedule-order monitor
+    factory and the state-access hook.  Only simulators constructed
+    while a factory is installed are monitored."""
+    global _monitor_factory, access_hook
+    _monitor_factory = monitor_factory
+    access_hook = access
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal uses of the engine (double-trigger, bad yield...)."""
@@ -82,6 +104,11 @@ class Event:
         """Trigger the event successfully with ``value``."""
         if self._ok is not None:
             raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError(
+                f"cannot trigger {delay} us into the past "
+                f"(causality violation at t={self.sim._now})"
+            )
         self._ok = True
         self._value = value
         self.sim._schedule(self, delay)
@@ -96,6 +123,11 @@ class Event:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        if delay < 0:
+            raise SimulationError(
+                f"cannot trigger {delay} us into the past "
+                f"(causality violation at t={self.sim._now})"
+            )
         self._ok = False
         self._value = exception
         self.sim._schedule(self, delay)
@@ -294,7 +326,15 @@ class Simulator:
     10.0
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "events_processed")
+    __slots__ = ("_now", "_heap", "_seq", "events_processed", "_mon")
+
+    def __new__(cls) -> "Simulator":
+        # When instrumentation is armed, construction routes to the
+        # monitored subclass so the base class never pays a per-schedule
+        # ``_mon`` check: REPRO_RACE off keeps the seed's exact hot path.
+        if cls is Simulator and _monitor_factory is not None:
+            return object.__new__(_MonitoredSimulator)
+        return object.__new__(cls)
 
     def __init__(self):
         self._now = 0.0
@@ -302,6 +342,9 @@ class Simulator:
         self._seq = 0
         #: Total heap entries processed (events + callbacks); perf metric.
         self.events_processed = 0
+        #: ShadowScheduler monitor (race detection / tie-break
+        #: perturbation), or None when not armed.
+        self._mon = _monitor_factory() if _monitor_factory is not None else None
 
     @property
     def now(self) -> float:
@@ -325,6 +368,9 @@ class Simulator:
         return AllOf(self, events)
 
     # -- scheduling -----------------------------------------------------
+    # Negative delays cannot reach ``_schedule``: Timeout.__init__ and
+    # Event.succeed/fail validate before calling, keeping this free of
+    # per-event checks.
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
@@ -349,12 +395,20 @@ class Simulator:
         the heap regardless of which instant the computation ran at —
         ``now + (when - now)`` is not ``when`` in float arithmetic."""
         if when < self._now:
-            raise ValueError(f"callback time {when} lies in the past (now={self._now})")
+            raise SimulationError(
+                f"callback time {when} lies in the past (now={self._now}): "
+                f"causality violation"
+            )
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, None, fn, args))
 
     def _schedule_event_at(self, event: Event, when: float) -> None:
         """Push an already-triggered event at an absolute time."""
+        if when < self._now:
+            raise SimulationError(
+                f"event time {when} lies in the past (now={self._now}): "
+                f"causality violation"
+            )
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, event))
 
@@ -410,3 +464,79 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._heap[0][0] if self._heap else float("inf")
+
+
+class _MonitoredSimulator(Simulator):
+    """Simulator variant built while instrumentation is armed.
+
+    ``Simulator()`` constructs this subclass (via ``__new__``) whenever
+    ``_monitor_factory`` is set, so the ShadowScheduler sees every heap
+    push and pop without the base class carrying any per-event checks.
+    The monitor may replace the tie-break key (``on_schedule``) to
+    perturb same-timestamp ordering; pops are reported via
+    ``on_execute`` before the entry runs.
+    """
+
+    __slots__ = ()
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        seq = self._mon.on_schedule(self._seq, self._now + delay, event)
+        heapq.heappush(self._heap, (self._now + delay, seq, event))
+
+    def schedule_callback(self, delay: float, fn: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise ValueError(f"negative callback delay: {delay}")
+        self._seq += 1
+        seq = self._mon.on_schedule(self._seq, self._now + delay, fn)
+        heapq.heappush(self._heap, (self._now + delay, seq, None, fn, args))
+
+    def schedule_callback_at(self, when: float, fn: Callable, *args: Any) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"callback time {when} lies in the past (now={self._now}): "
+                f"causality violation"
+            )
+        self._seq += 1
+        seq = self._mon.on_schedule(self._seq, when, fn)
+        heapq.heappush(self._heap, (when, seq, None, fn, args))
+
+    def _schedule_event_at(self, event: Event, when: float) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"event time {when} lies in the past (now={self._now}): "
+                f"causality violation"
+            )
+        self._seq += 1
+        seq = self._mon.on_schedule(self._seq, when, event)
+        heapq.heappush(self._heap, (when, seq, event))
+
+    def step(self) -> None:
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule: nothing left to run")
+        item = heapq.heappop(self._heap)
+        self._now = item[0]
+        self.events_processed += 1
+        self._mon.on_execute(item)
+        event = item[2]
+        if event is None:
+            item[3](*item[4])
+            return
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Monitored runs go through step() so every popped entry is
+        reported to the ShadowScheduler; speed is secondary here."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until ({until}) lies in the past (now={self._now})")
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until

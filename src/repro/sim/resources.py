@@ -6,6 +6,7 @@ import heapq
 from collections import deque
 from typing import Any, Deque, List, Optional
 
+from repro.sim import engine as _engine
 from repro.sim.engine import Event, SimulationError, Simulator
 
 
@@ -37,6 +38,8 @@ class Store:
         return len(self.items) >= self.capacity
 
     def put(self, item: Any) -> Event:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"store:{self.name}", "w")
         event = Event(self.sim)
         if self._getters:
             # Hand the item straight to the longest-waiting getter.
@@ -51,6 +54,8 @@ class Store:
         return event
 
     def get(self) -> Event:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"store:{self.name}", "w")
         event = Event(self.sim)
         if self.items:
             event.succeed(self.items.popleft())
@@ -65,6 +70,10 @@ class Store:
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False (drop) when full."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(
+                id(self), f"store:{self.name}", "r" if self.is_full else "w"
+            )
         if self._getters:
             self._getters.popleft().succeed(item)
             return True
@@ -75,6 +84,11 @@ class Store:
 
     def try_get(self) -> Optional[Any]:
         """Non-blocking get; returns None when empty."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(
+                id(self), f"store:{self.name}",
+                "w" if (self.items or self._putters) else "r",
+            )
         if self.items:
             item = self.items.popleft()
             self._drain_putters()
@@ -127,6 +141,8 @@ class Resource:
         """Request the resource; lower ``priority`` values are served
         first (interrupt-level work preempts queued process-level work,
         though never a holder mid-use)."""
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"res:{self.name}", "w")
         event = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -137,6 +153,8 @@ class Resource:
         return event
 
     def release(self, request: Event) -> None:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"res:{self.name}", "w")
         if not request.triggered:
             # The request never got the resource; just remove it.
             entries = [e for e in self._queue if e[2] is not request]
@@ -149,6 +167,8 @@ class Resource:
         self._release_held()
 
     def _release_held(self) -> None:
+        if _engine.access_hook is not None:
+            _engine.access_hook(id(self), f"res:{self.name}", "w")
         if self._in_use <= 0:
             raise SimulationError(f"release on idle resource {self.name!r}")
         if self._queue:
@@ -165,6 +185,8 @@ class Resource:
         the only scheduled occurrence.  Contended acquisitions take the
         full FIFO request path."""
         if self._in_use < self.capacity and not self._queue:
+            if _engine.access_hook is not None:
+                _engine.access_hook(id(self), f"res:{self.name}", "w")
             self._in_use += 1
             try:
                 yield self.sim.timeout(duration)

@@ -26,6 +26,18 @@ class ModelTransport:
     sender's NIC serializes bulk data at ``bandwidth_bps``; after the
     one-way wire latency the receiver's CPU is busy for ``overhead_us``
     and the handler runs.  Message order is preserved per source.
+
+    Messages from *different* sources that arrive at the same instant
+    are delivered in fixed-priority order (lowest source rank first,
+    then send order).  The arbitration happens at schedule time: the
+    wire latency is strictly positive, so every message landing at
+    instant T registers with the receiver's arrival batch before T, and
+    a single drain event per (receiver, T) plays the batch back in
+    sorted order.  Without this the delivery order — and therefore the
+    receive-overhead serialization on the destination CPU — would be an
+    accident of heap insertion order, which the schedule-order race
+    detector flags and the tie-break perturbation harness confirms as
+    metric divergence.
     """
 
     def __init__(self, sim: Simulator, machine: MachineSpec, nprocs: int):
@@ -37,6 +49,11 @@ class ModelTransport:
         self.cpus = [Resource(sim, 1, name=f"pe{r}.cpu") for r in range(nprocs)]
         self._nic_out: List[Store] = [Store(sim) for _ in range(nprocs)]
         self._handlers: Dict[int, MessageHandler] = {}
+        #: per-receiver: arrival instant -> [(src, send seq, data), ...]
+        self._arrivals: List[Dict[float, List[Tuple[int, int, bytes]]]] = [
+            dict() for _ in range(nprocs)
+        ]
+        self._arrival_seq = 0
         self.messages = 0
         self.bulk_bytes = 0
         for rank in range(nprocs):
@@ -66,16 +83,37 @@ class ModelTransport:
             if bulk_bytes:
                 # serialization onto the network at machine bandwidth
                 yield self.sim.timeout(self.machine.bulk_wire_us(bulk_bytes))
-            self.sim.process(self._deliver(rank, dst, data))
+            self._post(rank, dst, data)
 
-    def _deliver(self, src: int, dst: int, data: bytes):
-        yield self.sim.timeout(self.machine.one_way_wire_us)
-        # receive overhead holds the CPU; the handler body runs outside
-        # the hold (its own sends re-acquire the CPU for their overhead)
-        yield from self.cpus[dst].use(self.machine.overhead_us)
-        handler = self._handlers.get(dst)
-        if handler is not None:
-            yield from handler(src, data)
+    def _post(self, src: int, dst: int, data: bytes) -> None:
+        """Register an arrival one wire latency from now.
+
+        The first message landing at an instant schedules that instant's
+        drain; later same-instant messages only join the batch, so the
+        drain sees the complete set (registration strictly precedes the
+        arrival instant because ``one_way_wire_us`` > 0)."""
+        arrival = self.sim.now + self.machine.one_way_wire_us
+        self._arrival_seq += 1
+        batch = self._arrivals[dst].get(arrival)
+        if batch is None:
+            self._arrivals[dst][arrival] = [(src, self._arrival_seq, data)]
+            self.sim.schedule_callback_at(arrival, self._drain, dst, arrival)
+        else:
+            batch.append((src, self._arrival_seq, data))
+
+    def _drain(self, dst: int, arrival: float) -> None:
+        batch = self._arrivals[dst].pop(arrival)
+        batch.sort()
+        self.sim.process(self._deliver_batch(dst, batch))
+
+    def _deliver_batch(self, dst: int, batch: List[Tuple[int, int, bytes]]):
+        for src, _seq, data in batch:
+            # receive overhead holds the CPU; the handler body runs
+            # outside the hold (its own sends re-acquire the CPU)
+            yield from self.cpus[dst].use(self.machine.overhead_us)
+            handler = self._handlers.get(dst)
+            if handler is not None:
+                yield from handler(src, data)
 
     # -- compute charging for the runtime -------------------------------
     def compute(self, rank: int, cm5_us: float):

@@ -52,3 +52,20 @@ def bad_swallow(ring):
         return ring.pop()
     except Exception:  # one silent-except violation
         pass
+
+
+def bad_mutable_default(sample, buf=[]):  # one mutable-default violation
+    buf.append(sample)
+    return buf
+
+
+SHARED_TABLE = {}
+
+
+def mutate_shared(key):
+    SHARED_TABLE[key] = 1
+
+
+def bad_zero_delay(sim: Simulator):
+    # one schedule-shared-state violation
+    sim.schedule_callback(0.0, mutate_shared, "k")

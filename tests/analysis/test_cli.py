@@ -19,6 +19,8 @@ ALL_RULES = {
     "unordered-iter",
     "slots-hot-path",
     "silent-except",
+    "mutable-default",
+    "schedule-shared-state",
 }
 
 

@@ -27,6 +27,8 @@ def test_registry_has_all_rules():
         "unordered-iter",
         "slots-hot-path",
         "silent-except",
+        "mutable-default",
+        "schedule-shared-state",
     }
 
 
@@ -352,6 +354,141 @@ def test_silent_except_allows_narrow_or_counted_handlers():
             except Exception:
                 stats.dropped += 1
                 raise
+    """) == []
+
+
+# -- mutable-default ------------------------------------------------------
+
+def test_mutable_default_flags_literal_containers():
+    violations = run_rule("mutable-default", """
+        def record(sample, buf=[]):
+            buf.append(sample)
+            return buf
+
+        def index(key, table={}):
+            return table.setdefault(key, 0)
+    """)
+    assert len(violations) == 2
+    assert all(v.rule == "mutable-default" for v in violations)
+    assert "shared by every call" in violations[0].message
+
+
+def test_mutable_default_flags_constructor_and_kwonly():
+    violations = run_rule("mutable-default", """
+        from collections import deque
+
+        def pump(sim, *, backlog=deque(), seen=set()):
+            return backlog, seen
+    """)
+    assert len(violations) == 2
+
+
+def test_mutable_default_flags_lambda():
+    violations = run_rule("mutable-default", """
+        f = lambda x, acc=[]: acc + [x]
+    """)
+    assert len(violations) == 1
+    assert "<lambda>" in violations[0].message
+
+
+def test_mutable_default_allows_none_and_immutables():
+    assert run_rule("mutable-default", """
+        def f(a, b=None, c=0, d=1.5, e="x", g=(), h=frozenset()):
+            buf = [] if b is None else b
+            return buf
+    """) == []
+
+
+# -- schedule-shared-state ------------------------------------------------
+
+def test_schedule_shared_state_flags_module_global_mutation():
+    violations = run_rule("schedule-shared-state", """
+        PENDING = []
+
+        def fire(item):
+            PENDING.append(item)
+
+        def kick(sim, item):
+            sim.schedule_callback(0.0, fire, item)
+    """)
+    assert len(violations) == 1
+    assert "module-level 'PENDING'" in violations[0].message
+
+
+def test_schedule_shared_state_flags_closure_mutation():
+    violations = run_rule("schedule-shared-state", """
+        def build(sim):
+            inbox = []
+
+            def deliver(msg):
+                inbox.append(msg)
+
+            sim.schedule_callback(0, deliver, "hello")
+            return inbox
+    """)
+    assert len(violations) == 1
+    assert "closure-shared 'inbox'" in violations[0].message
+
+
+def test_schedule_shared_state_flags_schedule_at_now():
+    violations = run_rule("schedule-shared-state", """
+        TABLE = {}
+
+        class NI:
+            def poke(self, key):
+                TABLE[key] = 1
+
+            def kick(self, key):
+                self.sim.schedule_callback_at(self.sim.now, self.poke, key)
+    """)
+    assert len(violations) == 1
+
+
+def test_schedule_shared_state_flags_lambda_mutation():
+    violations = run_rule("schedule-shared-state", """
+        def build(sim):
+            seen = set()
+            sim.schedule_callback(0, lambda: seen.add(1))
+    """)
+    assert len(violations) == 1
+
+
+def test_schedule_shared_state_allows_time_separated_callbacks():
+    assert run_rule("schedule-shared-state", """
+        PENDING = []
+
+        def fire(item):
+            PENDING.append(item)
+
+        def kick(sim, item):
+            sim.schedule_callback(1.0, fire, item)
+            sim.schedule_callback(sim.cell_time, fire, item)
+    """) == []
+
+
+def test_schedule_shared_state_allows_self_state_mutation():
+    # instance state belongs to the scheduling object; the rule targets
+    # module/closure sharing, the sanitizer hooks cover object state
+    assert run_rule("schedule-shared-state", """
+        class NI:
+            def poke(self, key):
+                self.table[key] = 1
+                self.count += 1
+
+            def kick(self, key):
+                self.sim.schedule_callback(0.0, self.poke, key)
+    """) == []
+
+
+def test_schedule_shared_state_allows_pure_callbacks():
+    assert run_rule("schedule-shared-state", """
+        def build(sim):
+            inbox = []
+
+            def report(msg):
+                return len(inbox) + len(msg)
+
+            sim.schedule_callback(0, report, "hello")
     """) == []
 
 

@@ -380,8 +380,25 @@ class TestScheduleCallback:
         sim = Simulator()
         sim.schedule_callback(5.0, lambda: None)
         sim.run()
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             sim.schedule_callback_at(1.0, lambda: None)
+
+    def test_schedule_event_at_rejects_past(self):
+        # The internal absolute-time event path used to silently accept
+        # when < now, breaking causality; it must raise.
+        sim = Simulator()
+        sim.schedule_callback(5.0, lambda: None)
+        sim.run()
+        event = Event(sim)
+        event._ok = True
+        with pytest.raises(SimulationError):
+            sim._schedule_event_at(event, 1.0)
+
+    def test_trigger_with_negative_delay_rejects_past(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.succeed(delay=-1.0)
 
     def test_run_until_stops_before_callback(self):
         sim = Simulator()
