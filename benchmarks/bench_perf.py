@@ -85,6 +85,40 @@ def engine_events_per_sec(n_events: int = 200_000) -> dict:
     }
 
 
+def obs_profile(n: int = 30) -> dict:
+    """Span-tracing cost and engine self-profile on the fig3 ping-pong.
+
+    Two numbers matter: the *off* path must stay within noise of the
+    seed (the guards are one module-attribute load per instrumented
+    function), and the *on* path's overhead factor tells users what a
+    traced run costs.
+    """
+    from repro import obs
+    from repro.bench import micro
+
+    def wall_of(run):
+        t0 = time.perf_counter()
+        run()
+        return time.perf_counter() - t0
+
+    baseline = wall_of(lambda: micro.raw_rtt(32, n=n))
+    profile = {}
+
+    def traced():
+        with obs.collecting(profile_wall=True) as col:
+            micro.raw_rtt(32, n=n)
+        profile.update(col.engine_profile())
+        profile["spans"] = len(col.spans)
+
+    with_spans = wall_of(traced)
+    return {
+        "fig3_wall_s_off": round(baseline, 4),
+        "fig3_wall_s_on": round(with_spans, 4),
+        "overhead_factor_on": round(with_spans / baseline, 2) if baseline else None,
+        "engine_profile": profile,
+    }
+
+
 def time_figure(module_name: str) -> dict:
     module = importlib.import_module(module_name)
     t0 = time.perf_counter()
@@ -109,11 +143,14 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "sweep_workers": sweep_workers(),
         "engine": engine_events_per_sec(),
+        "obs": obs_profile(),
         "figures": {},
     }
     print(f"engine: {report['engine']['process_events_per_sec']:,} events/s "
           f"(processes), {report['engine']['callback_events_per_sec']:,} "
           f"events/s (callbacks)")
+    print(f"obs: spans-on overhead {report['obs']['overhead_factor_on']}x "
+          f"on fig3 ({report['obs']['engine_profile'].get('spans', 0)} spans)")
     for name in figures:
         result = time_figure(name)
         report["figures"][name] = result

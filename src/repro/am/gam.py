@@ -38,6 +38,7 @@ from repro.am.wire import (
     XFER_CHUNK,
     Message,
 )
+from repro import obs
 from repro.core import SendDescriptor, UNetSession
 from repro.core.errors import UNetError
 from repro.sim import AnyOf
@@ -302,6 +303,12 @@ class UAM:
         peer.ack_owed = False
         peer.ack_urgent = False
         peer.rx_since_ack = 0
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "uam_tx", "uam", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.compute(self.cfg.send_overhead_us)
         if len(raw) <= 40:
             desc = SendDescriptor(channel=peer.channel_id, inline=raw)
@@ -310,6 +317,9 @@ class UAM:
             yield from self.session.write_segment(slot, raw)
             desc = SendDescriptor(channel=peer.channel_id, bufs=((slot, len(raw)),))
         yield from self.session.send(desc)
+        if _sp is not None:
+            _o.annotate(_sp, seq=seq, type=msg_type, bytes=len(raw))
+            _o.end(_sp, self.sim.now)
 
     def _send_ack(self, peer: _Peer):
         raw = wire.encode(MSG_ACK, 0, peer.last_ack, 0)
@@ -317,10 +327,18 @@ class UAM:
         peer.ack_urgent = False
         peer.rx_since_ack = 0
         self.acks_sent += 1
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "uam_ack", "uam", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.compute(self.cfg.send_overhead_us)
         yield from self.session.send(
             SendDescriptor(channel=peer.channel_id, inline=raw)
         )
+        if _sp is not None:
+            _o.end(_sp, self.sim.now)
 
     def _process_ack(self, peer: _Peer, ack: int) -> None:
         while peer.unacked and ((ack - peer.unacked[0][0]) & 0xFF) < 128:
@@ -360,13 +378,24 @@ class UAM:
             # end of the poll batch so the sender's window never stalls
             # into its retransmission timeout.
             peer.ack_urgent = True
-        yield from self.host.compute(self.cfg.dispatch_overhead_us)
-        if msg.type in (MSG_REQUEST, MSG_REPLY):
-            yield from self._dispatch(channel_id, msg)
-        elif msg.type in (MSG_XFER, MSG_XFER_REPLY):
-            yield from self._handle_xfer(channel_id, msg)
-        elif msg.type == MSG_GET:
-            self._handle_get(channel_id, msg)
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "uam_dispatch", "uam", host=self.host.name)
+            if _o is not None
+            else None
+        )
+        try:
+            yield from self.host.compute(self.cfg.dispatch_overhead_us)
+            if msg.type in (MSG_REQUEST, MSG_REPLY):
+                yield from self._dispatch(channel_id, msg)
+            elif msg.type in (MSG_XFER, MSG_XFER_REPLY):
+                yield from self._handle_xfer(channel_id, msg)
+            elif msg.type == MSG_GET:
+                self._handle_get(channel_id, msg)
+        finally:
+            if _sp is not None:
+                _o.annotate(_sp, seq=msg.seq, type=msg.type)
+                _o.end(_sp, self.sim.now)
 
     def _dispatch(self, channel_id: int, msg: Message):
         fn = self.handlers.get(msg.handler)

@@ -1,0 +1,81 @@
+"""direct-tracer-append: no ad-hoc event emission in data-path code.
+
+Structured observability has exactly two front doors: ``Tracer.log()``
+(which maintains counters, honours the bounded ring, and applies the
+record cap) and the ``repro.obs`` span/counter API.  Appending to
+``tracer.records`` directly bypasses both the counter bookkeeping and
+the ``max_records`` ring bound; ``print()`` in a hot path is invisible
+to every analysis pass and ruins benchmark wall-clock.  The one
+legitimate append -- inside ``Tracer.log`` itself -- carries a disable
+comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: Module prefixes considered data-path: simulated-time code where any
+#: output must flow through Tracer/obs.  Bench harnesses, analysis
+#: tooling, and the obs package itself legitimately print reports.
+HOT_PREFIXES = (
+    "repro.sim",
+    "repro.core",
+    "repro.atm",
+    "repro.am",
+    "repro.host",
+    "repro.ip",
+    "repro.splitc",
+)
+
+
+def _is_hot_path(module_name: str) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in HOT_PREFIXES
+    )
+
+
+@register
+class DirectTracerAppendRule(Rule):
+    name = "direct-tracer-append"
+    description = (
+        "no tracer.records.append() (bypasses counters and the ring "
+        "bound) and no print() in data-path modules; use Tracer.log or "
+        "repro.obs"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        hot = _is_hot_path(ctx.module_name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "append"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "records"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "direct append to a tracer's records bypasses counter "
+                    "bookkeeping and the max_records ring; call "
+                    "Tracer.log() instead",
+                )
+            elif (
+                hot
+                and isinstance(func, ast.Name)
+                and func.id == "print"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "print() in data-path code is invisible to the "
+                    "analysis layer; emit through Tracer.log() or a "
+                    "repro.obs counter",
+                )

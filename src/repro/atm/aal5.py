@@ -13,6 +13,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.atm.cell import ATM_CELL_SIZE, ATM_PAYLOAD_SIZE, Cell
 from repro.atm.crc import crc32_finish, crc32_update
 
@@ -112,12 +113,18 @@ class Reassembler:
         if not cell.last:
             return None
         cells, self._partial[cell.vci] = buf, []
+        _o = obs.active
         try:
             payload = reassemble_pdu(cells)
         except AAL5Error:
             self.crc_errors += 1
+            if _o is not None:
+                _o.bump("aal5.crc_errors")
             return None
         self.completed_pdus += 1
+        if _o is not None:
+            _o.bump("aal5.pdus_reassembled")
+            _o.bump("aal5.cells_reassembled", len(cells))
         return payload
 
     def pending_cells(self, vci: int) -> int:

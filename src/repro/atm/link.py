@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.atm.cell import Cell
 from repro.sim import Event, Simulator, Tracer
 from repro.sim import engine as _engine
@@ -142,6 +143,15 @@ class Link:
         finish = start + self.cell_time_us(cell.wire_bytes)
         self._busy_until = finish
         self._starts.append(start)
+        _o = obs.active
+        if _o is not None:
+            # The link is analytic, so wire occupancy is known in closed
+            # form at claim time: serialization plus propagation.  (On
+            # lossy links a claimed cell may still be dropped at the
+            # serialization end; the span then overstates by one flight.)
+            _o.add_complete(
+                start, finish + self.propagation_us, "cell", "wire", host=self.name
+            )
         return finish
 
     def _schedule_cell(self, cell: Cell, finish: float) -> None:

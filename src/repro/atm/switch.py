@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.atm.cell import Cell
 from repro.atm.link import TAXI_140_BPS, CellTrain, Link
 from repro.sim import Simulator, Tracer
@@ -110,6 +111,12 @@ class Switch:
             self.cells_unrouted += 1
             self.tracer.count(f"{self.name}.unrouted")
             return
+        _o = obs.active
+        if _o is not None:
+            now = self.sim._now
+            _o.add_complete(
+                now, now + self.switching_latency_us, "xbar", "switch", host=self.name
+            )
         self.sim.schedule_callback(self.switching_latency_us, self._forward, route, cell)
 
     def _receive_train(self, port: int, train: CellTrain) -> None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.core import SINGLE_CELL_MAX, SendDescriptor, UNetCluster, UNetSession
 from repro.core.upcall import UpcallCondition, register_upcall
 from repro.sim import Simulator, StatSeries
@@ -93,14 +94,23 @@ def raw_rtt(
             make = lambda: SendDescriptor(
                 channel=ch_a.ident, bufs=((offset, size),)
             )
-        for _ in range(n):
+        for i in range(n):
             t0 = sim.now
+            _o = obs.active
+            _sp = (
+                _o.begin(t0, "roundtrip", "bench", host="alice")
+                if _o is not None
+                else None
+            )
             yield from sa.send(make())
             desc = yield from sa.recv()
             if signal_wakeup:
                 # Signal delivery interposes before the app sees the message.
                 yield from sa.host.signal_delivery()
             stats.add(sim.now - t0)
+            if _sp is not None:
+                _o.annotate(_sp, i=i, bytes=size)
+                _o.end(_sp, sim.now)
             assert sa.peek_payload(desc) == payload
             if not desc.is_inline:
                 yield from sa.repost_free(desc)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core.descriptors import (
     SINGLE_CELL_MAX,
     FreeDescriptor,
@@ -58,12 +59,30 @@ class UNetSession:
     def write_segment(self, offset: int, data: bytes):
         """Copy application data into the communication segment."""
         self.endpoint.segment.write(offset, data)
+        _o = obs.active
+        _sp = (
+            _o.begin(self.host.sim.now, "copy_in", "host", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.copy(len(data))
+        if _sp is not None:
+            _o.annotate(_sp, bytes=len(data))
+            _o.end(_sp, self.host.sim.now)
 
     def read_segment(self, offset: int, length: int):
         """Copy message data out of the segment into application memory."""
         data = self.endpoint.segment.read(offset, length)
+        _o = obs.active
+        _sp = (
+            _o.begin(self.host.sim.now, "copy_out", "host", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.copy(length)
+        if _sp is not None:
+            _o.annotate(_sp, bytes=length)
+            _o.end(_sp, self.host.sim.now)
         return data
 
     def peek_segment(self, offset: int, length: int) -> bytes:
@@ -88,8 +107,17 @@ class UNetSession:
 
     def post_send(self, descriptor: SendDescriptor):
         """Push a descriptor; returns False on back-pressure."""
+        _o = obs.active
+        _sp = (
+            _o.begin(self.host.sim.now, "post_send", "host", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.compute(self._post_send_us)
-        return self.endpoint.post_send(descriptor, self.caller)
+        ok = self.endpoint.post_send(descriptor, self.caller)
+        if _sp is not None:
+            _o.end(_sp, self.host.sim.now)
+        return ok
 
     def send(self, descriptor: SendDescriptor):
         """Push a descriptor, waiting out back-pressure (§3.1)."""
@@ -139,6 +167,12 @@ class UNetSession:
         """Recycle a consumed message's buffers back onto the free queue."""
         if descriptor.is_inline:
             return
+        _o = obs.active
+        _sp = (
+            _o.begin(self.host.sim.now, "post_free", "host", host=self.host.name)
+            if _o is not None
+            else None
+        )
         for offset, _used in descriptor.bufs:
             yield from self.host.compute(self._post_free_us)
             # Buffers keep their allocated size; we re-post the original
@@ -146,6 +180,8 @@ class UNetSession:
             self.endpoint.post_free(
                 FreeDescriptor(offset, self._buffer_size_of(descriptor)), self.caller
             )
+        if _sp is not None:
+            _o.end(_sp, self.host.sim.now)
 
     def _buffer_size_of(self, descriptor: RecvDescriptor) -> int:
         # All free buffers a session provides share one size; remember it.
@@ -160,7 +196,15 @@ class UNetSession:
         while True:
             desc = self.endpoint.recv_poll(self.caller)
             if desc is not None:
+                _o = obs.active
+                _sp = (
+                    _o.begin(self.host.sim.now, "recv", "host", host=self.host.name)
+                    if _o is not None
+                    else None
+                )
                 yield from self.host.compute(self._recv_us)
+                if _sp is not None:
+                    _o.end(_sp, self.host.sim.now)
                 return desc
             yield self.endpoint.wait_recv(self.caller)
 

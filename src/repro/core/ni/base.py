@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.atm.cell import Cell
 from repro.atm.network import NetworkPort
 from repro.core.endpoint import Endpoint
@@ -58,9 +59,20 @@ class NetworkInterface:
 
     # -- fiber side -------------------------------------------------------
     def _rx_sink(self, cell: Cell) -> None:
-        if not self.input_fifo.try_put(cell):
+        accepted = self.input_fifo.try_put(cell)
+        if not accepted:
             self.input_fifo_drops += 1
             self.tracer.count(f"{self.name}.rxfifo_drop")
+        _o = obs.active
+        if _o is not None:
+            _o.sample(
+                self.sim._now,
+                f"{self.name}.rxfifo_depth",
+                len(self.input_fifo),
+                host=self.host.name,
+            )
+            if not accepted:
+                _o.bump(f"{self.name}.rxfifo_drop")
 
     # -- delivery helpers shared by all NI models --------------------------
     def _deliver_inline(self, channel, payload: bytes) -> bool:
@@ -71,6 +83,9 @@ class NetworkInterface:
             channel=channel.ident, length=len(payload), inline=payload
         )
         if channel.endpoint.deliver(desc):
+            _o = obs.active
+            if _o is not None:
+                _o.bump(f"{self.name}.rx_inline_pdus")
             return True
         self.tracer.count(f"{self.name}.rx_ring_full")
         return False
@@ -104,6 +119,10 @@ class NetworkInterface:
             channel=channel.ident, length=len(payload), bufs=tuple(used)
         )
         if endpoint.deliver(desc):
+            _o = obs.active
+            if _o is not None:
+                _o.bump(f"{self.name}.rx_buffered_pdus")
+                _o.bump(f"{self.name}.rx_buffered_bytes", len(payload))
             return True
         for fd in popped:
             endpoint.free_queue.push(fd)

@@ -28,6 +28,10 @@ class ForeFirmwareNI(Sba200UNet):
     test program that maps the kernel-firmware interface into user
     space)."""
 
+    #: Spans from the inherited firmware loops carry this identity so a
+    #: timeline distinguishes vendor firmware from re-programmed U-Net.
+    obs_firmware = "fore-vendor"
+
     def __init__(
         self,
         host: Workstation,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.atm.aal5 import Reassembler, cells_for_pdu, segment_pdu
 from repro.atm.network import NetworkPort
 from repro.core.descriptors import SINGLE_CELL_MAX, SendDescriptor
@@ -79,10 +80,19 @@ class Sba100UNet(NetworkInterface):
                 payload = b"".join(
                     endpoint.segment.read(off, length) for off, length in desc.bufs
                 )
+            _o = obs.active
+            _sp = (
+                _o.begin(self.sim.now, "trap_tx", "ni_tx", host=self.host.name)
+                if _o is not None
+                else None
+            )
             yield from self.host.cpu.compute(costs.send_trap_us)
             for cell in segment_pdu(payload, channel.tx_vci):
                 yield from self.host.cpu.compute(self._per_cell_send_us())
                 yield self.port.tx_link.put(cell)
+            if _sp is not None:
+                _o.annotate(_sp, bytes=len(payload))
+                _o.end(_sp, self.sim.now)
             desc.injected = True
             if desc.completion is not None and not desc.completion.triggered:
                 desc.completion.succeed()
@@ -95,20 +105,32 @@ class Sba100UNet(NetworkInterface):
         costs = self.costs
         while True:
             cell = yield self.input_fifo.get()
-            yield from self.host.cpu.compute(self._per_cell_recv_us())
-            payload = self.reassembler.push(cell)
-            if payload is None:
-                if cell.last:
-                    self.tracer.count(f"{self.name}.rx_bad_pdu")
-                continue
-            yield from self.host.cpu.compute(costs.recv_trap_us)
-            channel = self.mux.demux(cell.vci)
-            if channel is None:
-                self.tracer.count(f"{self.name}.rx_unmatched")
-                continue
-            if len(payload) <= SINGLE_CELL_MAX and cells_for_pdu(len(payload)) == 1:
-                if self._deliver_inline(channel, payload):
-                    self.pdus_received += 1
-            else:
-                if self._deliver_buffered(channel, payload):
-                    self.pdus_received += 1
+            _o = obs.active
+            _sp = (
+                _o.begin(self.sim.now, "trap_rx", "ni_rx", host=self.host.name)
+                if _o is not None
+                else None
+            )
+            try:
+                yield from self.host.cpu.compute(self._per_cell_recv_us())
+                payload = self.reassembler.push(cell)
+                if payload is None:
+                    if cell.last:
+                        self.tracer.count(f"{self.name}.rx_bad_pdu")
+                    continue
+                yield from self.host.cpu.compute(costs.recv_trap_us)
+                channel = self.mux.demux(cell.vci)
+                if channel is None:
+                    self.tracer.count(f"{self.name}.rx_unmatched")
+                    continue
+                if _sp is not None:
+                    _o.annotate(_sp, bytes=len(payload))
+                if len(payload) <= SINGLE_CELL_MAX and cells_for_pdu(len(payload)) == 1:
+                    if self._deliver_inline(channel, payload):
+                        self.pdus_received += 1
+                else:
+                    if self._deliver_buffered(channel, payload):
+                        self.pdus_received += 1
+            finally:
+                if _sp is not None:
+                    _o.end(_sp, self.sim.now)

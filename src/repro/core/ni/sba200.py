@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.atm.aal5 import Reassembler, cells_for_pdu, segment_pdu
 from repro.atm.network import NetworkPort
 from repro.core.descriptors import SINGLE_CELL_MAX, SendDescriptor
@@ -33,6 +34,9 @@ from repro.sim import Resource, Tracer
 
 class Sba200UNet(NetworkInterface):
     """Base-level U-Net on re-programmed SBA-200 firmware."""
+
+    #: Firmware identity recorded on obs spans (Fore overrides this).
+    obs_firmware = "unet-sba200"
 
     def __init__(
         self,
@@ -99,6 +103,17 @@ class Sba200UNet(NetworkInterface):
                     + costs.i960_tx_packet_us
                     + costs.i960_tx_per_cell_us * n_cells
                 )
+            _o = obs.active
+            _sp = (
+                _o.begin(
+                    self.sim.now,
+                    "tx_single" if single else "tx_packet",
+                    "ni_tx",
+                    host=self.host.name,
+                )
+                if _o is not None
+                else None
+            )
             yield from self.i960.use(cost)
             cells = segment_pdu(payload, channel.tx_vci)
             # Paced by the outbound cell queue: back-pressure propagates
@@ -106,6 +121,14 @@ class Sba200UNet(NetworkInterface):
             # train goes down in one claim; the event fires when the
             # last cell has been admitted, same pacing as per-cell puts.
             yield self.port.tx_link.put_train(cells)
+            if _sp is not None:
+                _o.annotate(
+                    _sp,
+                    cells=n_cells,
+                    bytes=len(payload),
+                    firmware=self.obs_firmware,
+                )
+                _o.end(_sp, self.sim.now)
             desc.injected = True
             if desc.completion is not None and not desc.completion.triggered:
                 desc.completion.succeed()
@@ -118,28 +141,43 @@ class Sba200UNet(NetworkInterface):
         costs = self.costs
         while True:
             cell = yield self.input_fifo.get()
-            yield from self.i960.use(costs.i960_rx_per_cell_us)
-            first_of_pdu = self.reassembler.pending_cells(cell.vci) == 0
-            payload = self.reassembler.push(cell)
-            if payload is None:
-                if cell.last:
-                    self.tracer.count(f"{self.name}.rx_bad_pdu")
-                continue
-            single = (
-                self.single_cell_optimization
-                and first_of_pdu
-                and cell.last
-                and len(payload) <= SINGLE_CELL_MAX
+            _o = obs.active
+            _sp = (
+                _o.begin(self.sim.now, "rx_cell", "ni_rx", host=self.host.name)
+                if _o is not None
+                else None
             )
-            channel = self.mux.demux(cell.vci)
-            if channel is None:
-                self.tracer.count(f"{self.name}.rx_unmatched")
-                continue
-            if single:
-                yield from self.i960.use(costs.i960_rx_single_us)
-                if self._deliver_inline(channel, payload):
-                    self.pdus_received += 1
-            else:
-                yield from self.i960.use(costs.i960_rx_packet_us)
-                if self._deliver_buffered(channel, payload):
-                    self.pdus_received += 1
+            try:
+                yield from self.i960.use(costs.i960_rx_per_cell_us)
+                first_of_pdu = self.reassembler.pending_cells(cell.vci) == 0
+                payload = self.reassembler.push(cell)
+                if payload is None:
+                    if cell.last:
+                        self.tracer.count(f"{self.name}.rx_bad_pdu")
+                    continue
+                single = (
+                    self.single_cell_optimization
+                    and first_of_pdu
+                    and cell.last
+                    and len(payload) <= SINGLE_CELL_MAX
+                )
+                channel = self.mux.demux(cell.vci)
+                if channel is None:
+                    self.tracer.count(f"{self.name}.rx_unmatched")
+                    continue
+                if _sp is not None:
+                    _sp.name = "rx_single" if single else "rx_packet"
+                    _o.annotate(
+                        _sp, bytes=len(payload), firmware=self.obs_firmware
+                    )
+                if single:
+                    yield from self.i960.use(costs.i960_rx_single_us)
+                    if self._deliver_inline(channel, payload):
+                        self.pdus_received += 1
+                else:
+                    yield from self.i960.use(costs.i960_rx_packet_us)
+                    if self._deliver_buffered(channel, payload):
+                        self.pdus_received += 1
+            finally:
+                if _sp is not None:
+                    _o.end(_sp, self.sim.now)

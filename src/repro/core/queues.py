@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional
 
+from repro import obs
 from repro.analysis import sanitize
 from repro.sim import Event, Simulator
 from repro.sim import engine as _engine
@@ -71,11 +72,17 @@ class DescriptorRing:
             )
         if self.is_full:
             self.rejected += 1
+            _o = obs.active
+            if _o is not None:
+                _o.bump(f"ring.{self.name}.rejected")
             return False
         if self._san is not None:
             self._san.on_push(item, len(self._items), self.capacity)
         self._items.append(item)
         self.pushed += 1
+        _o = obs.active
+        if _o is not None:
+            _o.sample(self.sim._now, f"ring.{self.name}.depth", len(self._items))
         if self._nonempty_waiters:
             waiters, self._nonempty_waiters = self._nonempty_waiters, []
             for event in waiters:
@@ -98,6 +105,9 @@ class DescriptorRing:
         if self._san is not None:
             self._san.on_pop(item)
         self.popped += 1
+        _o = obs.active
+        if _o is not None:
+            _o.sample(self.sim._now, f"ring.{self.name}.depth", len(self._items))
         if self._space_waiters:
             waiters, self._space_waiters = self._space_waiters, []
             for event in waiters:

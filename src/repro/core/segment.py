@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.analysis import sanitize
 from repro.core.errors import SegmentOwnershipError, SegmentRangeError
 from repro.sim import engine as _engine
@@ -61,12 +62,18 @@ class CommSegment:
             self._san.check_write(offset, len(data))
         if _engine.access_hook is not None:
             _engine.access_hook(id(self), f"seg:{self.owner or 'segment'}", "w")
+        _o = obs.active
+        if _o is not None:
+            _o.bump("segment.bytes_written", len(data))
         self._mem[offset : offset + len(data)] = data
 
     def read(self, offset: int, length: int) -> bytes:
         self.check_range(offset, length)
         if _engine.access_hook is not None:
             _engine.access_hook(id(self), f"seg:{self.owner or 'segment'}", "r")
+        _o = obs.active
+        if _o is not None:
+            _o.bump("segment.bytes_read", length)
         return bytes(self._mem[offset : offset + length])
 
     # -- convenience allocator --------------------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.sim import Resource, Simulator
 
 #: All cost constants in the repo are calibrated at this clock.
@@ -37,20 +38,30 @@ class CpuModel:
         ``priority`` below zero models interrupt-level work (splnet):
         it is served before queued process-level work."""
         cost = self.scale(us_at_reference)
+        _o = obs.active
+        if _o is not None:
+            _o.charge(cost)
         request = self.resource.request(priority)
         yield request
         try:
             yield self.sim.timeout(cost)
             self.busy_us += cost
+            if _o is not None:
+                _o.sample(self.sim.now, f"{self.name}.busy_us", self.busy_us)
         finally:
             self.resource.release(request)
 
     def compute_raw(self, us: float):
         """Generator: occupy the CPU for an *unscaled* duration."""
+        _o = obs.active
+        if _o is not None:
+            _o.charge(us)
         request = self.resource.request()
         yield request
         try:
             yield self.sim.timeout(us)
             self.busy_us += us
+            if _o is not None:
+                _o.sample(self.sim.now, f"{self.name}.busy_us", self.busy_us)
         finally:
             self.resource.release(request)

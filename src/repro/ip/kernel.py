@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Tuple
 
+from repro import obs
 from repro.core import SendDescriptor, UNetSession
 from repro.host import Workstation
 from repro.ip.ethernet import ETHERNET_MTU, EthernetPort
@@ -117,6 +118,12 @@ class AtmKernelDevice:
         while True:
             raw = yield self._devq.get()
             raw = self.LLC_SNAP + raw  # RFC 1577 encapsulation
+            _o = obs.active
+            _sp = (
+                _o.begin(self.sim.now, "k_dev_tx", "kernel", host=self.host.name)
+                if _o is not None
+                else None
+            )
             yield from self.host.cpu.compute(self.costs.fore_tx_us, priority=SPLNET)
             offset = self.session.alloc(len(raw))
             # the interface DMAs straight out of the mbufs: no extra host
@@ -125,6 +132,9 @@ class AtmKernelDevice:
             yield from self.host.cpu.compute(10.0, priority=SPLNET)
             desc = SendDescriptor(channel=self.channel_id, bufs=((offset, len(raw)),))
             yield from self.session.send(desc)
+            if _sp is not None:
+                _o.annotate(_sp, bytes=len(raw))
+                _o.end(_sp, self.sim.now)
             # The driver moves on once the descriptor is queued; the
             # buffer is reclaimed when the firmware marks it injected.
             self.sim.process(self._reclaim(desc, offset, len(raw)))
@@ -137,15 +147,27 @@ class AtmKernelDevice:
     def _rx_proc(self):
         while True:
             desc = yield from self.session.recv()
-            raw = self.session.peek_payload(desc)
-            if not desc.is_inline:
-                yield from self.session.repost_free(desc)
-            yield from self.host.cpu.compute(self.costs.fore_rx_us, priority=SPLNET)
-            if not raw.startswith(self.LLC_SNAP):
-                continue
-            self.packets_received += 1
-            if self._rx_cb is not None:
-                yield from self._rx_cb(raw[len(self.LLC_SNAP):])
+            _o = obs.active
+            _sp = (
+                _o.begin(self.sim.now, "k_dev_rx", "kernel", host=self.host.name)
+                if _o is not None
+                else None
+            )
+            try:
+                raw = self.session.peek_payload(desc)
+                if not desc.is_inline:
+                    yield from self.session.repost_free(desc)
+                yield from self.host.cpu.compute(
+                    self.costs.fore_rx_us, priority=SPLNET
+                )
+                if not raw.startswith(self.LLC_SNAP):
+                    continue
+                self.packets_received += 1
+                if self._rx_cb is not None:
+                    yield from self._rx_cb(raw[len(self.LLC_SNAP):])
+            finally:
+                if _sp is not None:
+                    _o.end(_sp, self.sim.now)
 
 
 class EthernetKernelDevice:
@@ -270,23 +292,41 @@ class KernelStack:
             raise ValueError(
                 f"datagram of {len(payload)} bytes exceeds device MTU"
             )
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "k_ip_out", "kernel", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.compute(self.costs.ip_us)
         raw = IpDatagram(src=self.addr, dst=dst, proto=proto, payload=payload).encode()
         self.device.transmit(raw)
+        if _sp is not None:
+            _o.end(_sp, self.sim.now)
 
     # ------------------------------------------------------------- input
     def _ip_input(self, raw: bytes):
-        yield from self.host.cpu.compute(self.costs.ip_us, priority=SPLNET)
-        self.packets_in += 1
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "k_ip_in", "kernel", host=self.host.name)
+            if _o is not None
+            else None
+        )
         try:
-            dgram = IpDatagram.decode(raw)
-        except ValueError:
-            self.bad_packets += 1
-            return
-        if dgram.proto == PROTO_UDP:
-            yield from self._udp_input(dgram)
-        elif dgram.proto == PROTO_TCP:
-            yield from self._tcp_input(dgram)
+            yield from self.host.cpu.compute(self.costs.ip_us, priority=SPLNET)
+            self.packets_in += 1
+            try:
+                dgram = IpDatagram.decode(raw)
+            except ValueError:
+                self.bad_packets += 1
+                return
+            if dgram.proto == PROTO_UDP:
+                yield from self._udp_input(dgram)
+            elif dgram.proto == PROTO_TCP:
+                yield from self._tcp_input(dgram)
+        finally:
+            if _sp is not None:
+                _o.end(_sp, self.sim.now)
 
     def _udp_input(self, dgram: IpDatagram):
         yield from self.host.cpu.compute(self.costs.udp_in_us, priority=SPLNET)
@@ -397,6 +437,12 @@ class KernelUdpSocket:
         peer, port = dest
         host = self.stack.host
         costs = self.stack.costs
+        _o = obs.active
+        _sp = (
+            _o.begin(self.stack.sim.now, "k_sosend", "kernel", host=host.name)
+            if _o is not None
+            else None
+        )
         yield from host.syscall()
         yield from host.compute(costs.sosend_us)
         yield from host.copy(len(data))  # user -> mbuf copy
@@ -405,6 +451,9 @@ class KernelUdpSocket:
         packet = UdpPacket(src_port=self.port, dst_port=port, payload=data)
         yield from self.stack.ip_output(peer, PROTO_UDP, packet.encode())
         self.sent += 1
+        if _sp is not None:
+            _o.annotate(_sp, bytes=len(data))
+            _o.end(_sp, self.stack.sim.now)
 
     def recvfrom(self):
         host = self.stack.host
@@ -414,9 +463,18 @@ class KernelUdpSocket:
             yield event
         src, packet = self._queue.popleft()
         self.buffered_bytes -= len(packet.payload)
+        _o = obs.active
+        _sp = (
+            _o.begin(self.stack.sim.now, "k_soreceive", "kernel", host=host.name)
+            if _o is not None
+            else None
+        )
         yield from host.syscall()
         yield from host.compute(self.stack.costs.soreceive_us)
         yield from host.copy(len(packet.payload))  # mbuf -> user copy
+        if _sp is not None:
+            _o.annotate(_sp, bytes=len(packet.payload))
+            _o.end(_sp, self.stack.sim.now)
         return packet.payload, (src, packet.src_port)
 
     def _deliver(self, src: int, packet: UdpPacket) -> None:
@@ -439,14 +497,29 @@ class _KernelTcpEnv:
     def output_segment(self, seg: TcpSegment):
         host = self.stack.host
         costs = self.stack.costs
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "k_tcp_out", "kernel", host=host.name)
+            if _o is not None
+            else None
+        )
         yield from host.compute(costs.tcp_out_us)
         yield from host.copy(len(seg.payload))  # socket buffer -> mbufs
         yield from self.stack._mbuf_cost(len(seg.payload) + 20)
         yield from self.stack.ip_output(self.peer_addr, PROTO_TCP, seg.encode())
+        if _sp is not None:
+            _o.annotate(_sp, bytes=len(seg.payload))
+            _o.end(_sp, self.sim.now)
 
     def segment_cost_us(self, payload_bytes: int):
         host = self.stack.host
         costs = self.stack.costs
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "k_tcp_in", "kernel", host=host.name)
+            if _o is not None
+            else None
+        )
         yield from host.cpu.compute(costs.tcp_in_us, priority=SPLNET)
         yield from self.stack._mbuf_cost(payload_bytes + 20, priority=SPLNET)
         yield from host.cpu.compute(
@@ -454,3 +527,6 @@ class _KernelTcpEnv:
         )  # mbufs -> socket buffer
         if payload_bytes:
             yield from host.cpu.compute(costs.wakeup_us, priority=SPLNET)
+        if _sp is not None:
+            _o.annotate(_sp, bytes=payload_bytes)
+            _o.end(_sp, self.sim.now)

@@ -19,6 +19,7 @@ from typing import Deque, List, Optional
 
 from collections import deque
 
+from repro import obs
 from repro.ip.headers import (
     FLAG_ACK,
     FLAG_FIN,
@@ -328,6 +329,11 @@ class TcpConnection:
             payload=payload,
         )
         self.segments_sent += 1
+        _o = obs.active
+        if _o is not None:
+            _o.bump("tcp.segments_sent")
+            if payload:
+                _o.bump("tcp.bytes_sent", len(payload))
         if flags & FLAG_ACK:
             self._delack_count = 0
             self._delack_deadline = None
@@ -350,6 +356,12 @@ class TcpConnection:
     def handle(self, seg: TcpSegment):
         """Process an arriving segment (called by the environment)."""
         self.segments_received += 1
+        _o = obs.active
+        if _o is not None:
+            _o.bump("tcp.segments_received")
+            _o.sample(
+                self.sim.now, f"{self.name}.cwnd", self.cwnd, host=self.name
+            )
         yield from self.env.segment_cost_us(len(seg.payload))
         if seg.flag(FLAG_RST):
             self.state = "CLOSED"
@@ -561,12 +573,17 @@ class TcpConnection:
         self.ssthresh = max(2 * self.cfg.mss, flight // 2)
         self.cwnd = self.cfg.mss
         # go-back-N: retransmit the first outstanding segment
+        _o = obs.active
         if len(self._retx):
             payload = bytes(self._retx[: self.cfg.mss])
             self.retransmits += 1
+            if _o is not None:
+                _o.bump("tcp.retransmits")
             yield from self._emit(FLAG_ACK, seq=self.snd_una, payload=payload)
         elif self._fin_sent:
             self.retransmits += 1
+            if _o is not None:
+                _o.bump("tcp.retransmits")
             yield from self._emit(FLAG_FIN | FLAG_ACK, seq=self.snd_nxt - 1)
         self._retx_deadline = self.sim.now + self._rto()
         self._wake_timer()

@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Tuple
 
+from repro import obs
 from repro.core import SendDescriptor, UNetSession
 from repro.core.errors import UNetError
 from repro.ip.headers import (
@@ -177,11 +178,20 @@ class UnetIpStack:
         raw = IpDatagram(
             src=self.addr, dst=peer_addr, proto=proto, payload=payload
         ).encode()
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "ip_out", "ip", host=self.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.host.compute(self.costs.ip_out_us)
         offset = self.session.alloc(len(raw))
         yield from self.session.write_segment(offset, raw)
         desc = SendDescriptor(channel=channel, bufs=((offset, len(raw)),))
         yield from self.session.send(desc)
+        if _sp is not None:
+            _o.annotate(_sp, bytes=len(raw), proto=proto)
+            _o.end(_sp, self.sim.now)
         self.packets_out += 1
         self.sim.process(self._reclaim(desc, offset, len(raw)))
 
@@ -205,22 +215,32 @@ class UnetIpStack:
     def _pump(self):
         while True:
             desc = yield from self.session.recv()
-            raw = self.session.peek_payload(desc)
-            if not desc.is_inline:
-                yield from self.session.repost_free(desc)
-            self.packets_in += 1
-            yield from self.host.compute(self.costs.ip_in_us)
+            _o = obs.active
+            _sp = (
+                _o.begin(self.sim.now, "ip_in", "ip", host=self.host.name)
+                if _o is not None
+                else None
+            )
             try:
-                dgram = IpDatagram.decode(raw)
-            except ValueError:
-                self.bad_packets += 1
-                continue
-            if dgram.proto == PROTO_UDP:
-                yield from self._deliver_udp(desc.channel, dgram)
-            elif dgram.proto == PROTO_TCP:
-                yield from self._deliver_tcp(dgram, channel_id=desc.channel)
-            else:
-                self.bad_packets += 1
+                raw = self.session.peek_payload(desc)
+                if not desc.is_inline:
+                    yield from self.session.repost_free(desc)
+                self.packets_in += 1
+                yield from self.host.compute(self.costs.ip_in_us)
+                try:
+                    dgram = IpDatagram.decode(raw)
+                except ValueError:
+                    self.bad_packets += 1
+                    continue
+                if dgram.proto == PROTO_UDP:
+                    yield from self._deliver_udp(desc.channel, dgram)
+                elif dgram.proto == PROTO_TCP:
+                    yield from self._deliver_tcp(dgram, channel_id=desc.channel)
+                else:
+                    self.bad_packets += 1
+            finally:
+                if _sp is not None:
+                    _o.end(_sp, self.sim.now)
 
     def _deliver_udp(self, channel_id: int, dgram: IpDatagram):
         try:
@@ -229,23 +249,33 @@ class UnetIpStack:
             self.bad_packets += 1
             return
         key = (channel_id, packet.dst_port)
-        sock = self._pcb_cache.get(key)
-        if sock is not None and sock.port == packet.dst_port:
-            self.pcb_hits += 1
-            yield from self.host.compute(self.costs.udp_in_hit_us)
-        else:
-            self.pcb_misses += 1
-            yield from self.host.compute(self.costs.udp_in_miss_us)
-            sock = self._udp_sockets.get(packet.dst_port)
-            if sock is None:
-                self.bad_packets += 1
-                return
-            self._pcb_cache[key] = sock
-        if packet.with_checksum:
-            # §7.6: checksum "can be combined with the copy operation" --
-            # charge only the checksum's share here.
-            yield from self.host.checksum(len(packet.payload))
-        sock._deliver(dgram.src, packet)
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "udp_in", "udp", host=self.host.name)
+            if _o is not None
+            else None
+        )
+        try:
+            sock = self._pcb_cache.get(key)
+            if sock is not None and sock.port == packet.dst_port:
+                self.pcb_hits += 1
+                yield from self.host.compute(self.costs.udp_in_hit_us)
+            else:
+                self.pcb_misses += 1
+                yield from self.host.compute(self.costs.udp_in_miss_us)
+                sock = self._udp_sockets.get(packet.dst_port)
+                if sock is None:
+                    self.bad_packets += 1
+                    return
+                self._pcb_cache[key] = sock
+            if packet.with_checksum:
+                # §7.6: checksum "can be combined with the copy operation" --
+                # charge only the checksum's share here.
+                yield from self.host.checksum(len(packet.payload))
+            sock._deliver(dgram.src, packet)
+        finally:
+            if _sp is not None:
+                _o.end(_sp, self.sim.now)
 
     def _deliver_tcp(self, dgram: IpDatagram, channel_id: Optional[int] = None):
         try:
@@ -292,6 +322,12 @@ class UnetUdpSocket:
         """Generator: send ``data`` to (host_addr, port)."""
         peer_addr, port = dest
         costs = self.stack.costs
+        _o = obs.active
+        _sp = (
+            _o.begin(self.stack.sim.now, "udp_out", "udp", host=self.stack.host.name)
+            if _o is not None
+            else None
+        )
         yield from self.stack.host.compute(costs.udp_out_us)
         if self.checksum_enabled:
             yield from self.stack.host.checksum(len(data))
@@ -300,6 +336,9 @@ class UnetUdpSocket:
             with_checksum=self.checksum_enabled,
         )
         yield from self.stack.send_ip(peer_addr, PROTO_UDP, packet.encode())
+        if _sp is not None:
+            _o.annotate(_sp, bytes=len(data))
+            _o.end(_sp, self.stack.sim.now)
 
     def recvfrom(self):
         """Generator: wait for a datagram; returns (data, (addr, port))."""
@@ -363,6 +402,20 @@ class _UnetTcpEnv:
         return self._pool, self._headers
 
     def output_segment(self, seg: TcpSegment):
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "tcp_out", "tcp", host=self.stack.host.name)
+            if _o is not None
+            else None
+        )
+        try:
+            yield from self._output_segment(seg)
+        finally:
+            if _sp is not None:
+                _o.annotate(_sp, bytes=len(seg.payload))
+                _o.end(_sp, self.sim.now)
+
+    def _output_segment(self, seg: TcpSegment):
         if not seg.payload:
             yield from self.stack.host.compute(self.stack.costs.tcp_ack_us)
             yield from self.stack.send_ip(
@@ -419,8 +472,17 @@ class _UnetTcpEnv:
             self._inflight.pop(key).decref()
 
     def segment_cost_us(self, payload_bytes: int):
+        _o = obs.active
+        _sp = (
+            _o.begin(self.sim.now, "tcp_in", "tcp", host=self.stack.host.name)
+            if _o is not None
+            else None
+        )
         if payload_bytes:
             yield from self.stack.host.compute(self.stack.costs.tcp_in_us)
             yield from self.stack.host.checksum(payload_bytes)
         else:
             yield from self.stack.host.compute(self.stack.costs.tcp_ack_us)
+        if _sp is not None:
+            _o.annotate(_sp, bytes=payload_bytes)
+            _o.end(_sp, self.sim.now)

@@ -1,0 +1,149 @@
+"""Latency attribution: fold a window of spans into a per-layer budget.
+
+The paper reports per-layer software overheads (Table 1, §4.2.3); this
+pass reconstructs the same decomposition from recorded spans.  Over a
+window ``[t0, t1]`` the spans are cut into elementary intervals at
+every span boundary; each elementary interval is attributed to the
+*deepest* span covering it (ties broken by later start, then span id,
+so the most recently opened — most specific — span wins), and instants
+covered by no span fall into the ``unattributed`` pseudo-layer.  Since
+every elementary interval is attributed to exactly one layer, the
+components sum to the window length *by construction*; that equality is
+the machine-checked invariant CI gates on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.spans import Span
+
+#: Pseudo-layer for instants no span covers (scheduling gaps, waits).
+UNATTRIBUTED = "unattributed"
+
+#: Relative tolerance for the sum == window invariant.  The fold is
+#: exact in exact arithmetic (elementary intervals telescope); float
+#: summation of the pieces can drift by a few ulps, nothing more.
+SUM_REL_TOL = 1e-9
+
+
+@dataclass
+class Attribution:
+    """Per-layer breakdown of one window of simulated time."""
+
+    t0: float
+    t1: float
+    layers: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def window_us(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def total_us(self) -> float:
+        return math.fsum(self.layers.values())
+
+    def fraction(self, layer: str) -> float:
+        if self.window_us == 0.0:
+            return 0.0
+        return self.layers.get(layer, 0.0) / self.window_us
+
+    def check_sum(self) -> None:
+        """Raise ``ValueError`` unless components sum to the window."""
+        window = self.window_us
+        if not math.isclose(
+            self.total_us, window, rel_tol=SUM_REL_TOL, abs_tol=1e-9
+        ):
+            raise ValueError(
+                f"attribution components sum to {self.total_us!r} us "
+                f"but the window is {window!r} us"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t0_us": self.t0,
+            "t1_us": self.t1,
+            "window_us": self.window_us,
+            "layers_us": {k: self.layers[k] for k in sorted(self.layers)},
+        }
+
+
+def fold_spans(
+    spans: Iterable[Span],
+    t0: float,
+    t1: float,
+    exclude_layers: Sequence[str] = (),
+) -> Attribution:
+    """Attribute every instant of ``[t0, t1]`` to exactly one layer.
+
+    ``exclude_layers`` drops spans (typically the measurement root span
+    itself, which covers the whole window) before folding.
+    """
+    if t1 < t0:
+        raise ValueError(f"window end {t1} precedes start {t0}")
+    excluded = frozenset(exclude_layers)
+    clipped: List[Tuple[float, float, int, float, int, str]] = []
+    bounds = {t0, t1}
+    for span in spans:
+        if span.t1 is None or span.layer in excluded:
+            continue
+        a = span.t0 if span.t0 > t0 else t0
+        b = span.t1 if span.t1 < t1 else t1
+        if b <= a:
+            continue
+        clipped.append((a, b, span.depth, span.t0, span.sid, span.layer))
+        bounds.add(a)
+        bounds.add(b)
+
+    ordered = sorted(bounds)
+    clipped.sort()  # by start time
+    totals: Dict[str, float] = {}
+    active: List[Tuple[float, float, int, float, int, str]] = []
+    j = 0
+    for k in range(len(ordered) - 1):
+        a = ordered[k]
+        b = ordered[k + 1]
+        while j < len(clipped) and clipped[j][0] <= a:
+            active.append(clipped[j])
+            j += 1
+        if active:
+            active = [iv for iv in active if iv[1] > a]
+        if active:
+            best = max(active, key=lambda iv: (iv[2], iv[3], iv[4]))
+            layer = best[5]
+        else:
+            layer = UNATTRIBUTED
+        totals[layer] = totals.get(layer, 0.0) + (b - a)
+    return Attribution(t0=t0, t1=t1, layers=totals)
+
+
+def attribute_roundtrips(
+    spans: Sequence[Span], root_layer: str = "bench"
+) -> List[Attribution]:
+    """One :class:`Attribution` per measurement root span.
+
+    The bench harness wraps each measured round trip in a span on the
+    ``root_layer``; its window is the measured latency, and the fold
+    excludes the root itself so only model layers appear.
+    """
+    roots = [s for s in spans if s.layer == root_layer and s.t1 is not None]
+    return [
+        fold_spans(spans, root.t0, root.t1, exclude_layers=(root_layer,))
+        for root in roots
+    ]
+
+
+def merge_mean(attributions: Sequence[Attribution]) -> Attribution:
+    """Mean per-layer breakdown across windows (e.g. all round trips)."""
+    if not attributions:
+        raise ValueError("no attributions to merge")
+    n = len(attributions)
+    layers: Dict[str, float] = {}
+    for att in attributions:
+        for layer, us in att.layers.items():
+            layers[layer] = layers.get(layer, 0.0) + us
+    mean_layers = {layer: us / n for layer, us in layers.items()}
+    mean_window = math.fsum(a.window_us for a in attributions) / n
+    return Attribution(t0=0.0, t1=mean_window, layers=mean_layers)

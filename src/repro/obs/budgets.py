@@ -1,0 +1,81 @@
+"""Analytic per-layer latency budgets (paper Table 1 and §4.2.3).
+
+A budget is the closed-form prediction of where a message's round-trip
+time goes, derived from the same cost tables the NI models charge
+(:mod:`repro.core.ni.costs`) plus the wire parameters of the cluster.
+The report pass (:mod:`repro.obs.report`) compares the *measured*
+attribution -- folded out of the span tree -- against the budget; CI
+gates on the comparison.
+
+§4.2.3 for the SBA-200 single-cell round trip: "the dominant cost" is
+the i960 per-message processing; the host-side descriptor handling is a
+few microseconds; fiber and switch account for the rest of the 65 us.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.ni.costs import Sba200Costs
+
+#: Default relative tolerance for budget comparison.  The measured
+#: attribution and the analytic budget are built from the same cost
+#: tables, so agreement is tight; the tolerance absorbs scheduling
+#: artifacts (e.g. poll-loop phase) rather than model error.  5% of the
+#: end-to-end time, applied per layer against the total.
+BUDGET_REL_TOL = 0.05
+
+
+def sba200_single_cell_budget(
+    wire_one_way_us: float,
+    switch_latency_us: float,
+    costs: Optional[Sba200Costs] = None,
+) -> Dict[str, float]:
+    """Per-layer budget for the Figure 3 single-cell raw round trip.
+
+    ``wire_one_way_us`` is fiber + serialization + switch for one cell,
+    one way (``repro.bench.micro._one_way_wire_us``); the switch's share
+    is split out so the budget matches the attribution's layer names.
+    """
+    c = costs if costs is not None else Sba200Costs()
+    fiber_one_way = wire_one_way_us - switch_latency_us
+    return {
+        # descriptor post on the pinger + pop on the ponger, both ways
+        "host": 2 * (c.host_post_send_us + c.host_recv_us),
+        # i960 send path: poll for the descriptor + single-cell format
+        "ni_tx": 2 * (c.i960_tx_poll_us + c.i960_tx_single_us),
+        # i960 receive path: per-cell handling + single-cell delivery
+        "ni_rx": 2 * (c.i960_rx_per_cell_us + c.i960_rx_single_us),
+        "wire": 2 * fiber_one_way,
+        "switch": 2 * switch_latency_us,
+    }
+
+
+def compare(
+    measured: Dict[str, float],
+    budget: Dict[str, float],
+    rel_tol: float = BUDGET_REL_TOL,
+) -> Dict[str, object]:
+    """Compare a measured per-layer breakdown against a budget.
+
+    Each layer's absolute delta is judged against ``rel_tol`` of the
+    *budget total* (per-layer relative error would be needlessly strict
+    for the small layers).  Layers present on only one side count with
+    an implicit 0.0 on the other.
+    """
+    total = sum(budget.values())
+    allowed = rel_tol * total
+    deltas = {}
+    ok = True
+    for layer in sorted(set(measured) | set(budget)):
+        delta = measured.get(layer, 0.0) - budget.get(layer, 0.0)
+        deltas[layer] = delta
+        if abs(delta) > allowed:
+            ok = False
+    return {
+        "budget_total_us": total,
+        "tolerance_us": allowed,
+        "rel_tol": rel_tol,
+        "deltas_us": deltas,
+        "ok": ok,
+    }

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import math
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, MutableSequence, Optional, Tuple
 
 
 @dataclass
@@ -26,12 +26,27 @@ class Tracer:
     Tracing is off by default (``enabled=False``) so hot paths pay only a
     boolean check; counters are always collected since they are cheap and
     the benchmark harness relies on them (drops, retransmits, etc.).
+
+    ``max_records`` bounds the record buffer with a ring: once full, the
+    oldest records are discarded (counted in ``records_dropped``) so that
+    long lossy-link runs cannot grow memory without limit.
     """
 
-    def __init__(self, enabled: bool = False, categories: Optional[set] = None):
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[set] = None,
+        max_records: Optional[int] = None,
+    ):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None for unbounded)")
         self.enabled = enabled
         self.categories = categories
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.records: MutableSequence[TraceRecord] = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.records_dropped = 0
         self.counters: Counter = Counter()
 
     def log(self, time: float, category: str, message: str, **data: Any) -> None:
@@ -39,10 +54,19 @@ class Tracer:
             return
         if self.categories is not None and category not in self.categories:
             return
-        self.records.append(TraceRecord(time, category, message, data or None))
+        if self.max_records is not None and len(self.records) == self.max_records:
+            self.records_dropped += 1
+        # The one sanctioned append; everywhere else goes through log().
+        self.records.append(  # simlint: disable=direct-tracer-append
+            TraceRecord(time, category, message, data or None)
+        )
 
     def count(self, name: str, amount: int = 1) -> None:
         self.counters[name] += amount
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters as a plain dict (for bench JSON reports)."""
+        return dict(self.counters)
 
     def __getitem__(self, counter_name: str) -> int:
         return self.counters[counter_name]
@@ -72,14 +96,20 @@ class StatSeries:
 
     @property
     def minimum(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
         return min(self.samples)
 
     @property
     def maximum(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
         return max(self.samples)
 
     @property
     def stddev(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
         if len(self.samples) < 2:
             return 0.0
         mu = self.mean

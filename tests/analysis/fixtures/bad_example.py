@@ -59,6 +59,10 @@ def bad_mutable_default(sample, buf=[]):  # one mutable-default violation
     return buf
 
 
+def bad_tracer_append(tracer, record):
+    tracer.records.append(record)  # one direct-tracer-append violation
+
+
 SHARED_TABLE = {}
 
 

@@ -21,6 +21,7 @@ ALL_RULES = {
     "silent-except",
     "mutable-default",
     "schedule-shared-state",
+    "direct-tracer-append",
 }
 
 

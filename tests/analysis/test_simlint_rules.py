@@ -29,6 +29,7 @@ def test_registry_has_all_rules():
         "silent-except",
         "mutable-default",
         "schedule-shared-state",
+        "direct-tracer-append",
     }
 
 
@@ -559,3 +560,64 @@ def test_violation_format_and_dict():
     as_dict = violation.to_dict()
     assert as_dict["rule"] == "wall-clock"
     assert as_dict["path"] == "snippet.py"
+
+
+# -- direct-tracer-append -------------------------------------------------
+
+def test_direct_tracer_append_flags_records_append():
+    violations = run_rule("direct-tracer-append", """
+        def emit(tracer, record):
+            tracer.records.append(record)
+    """)
+    assert len(violations) == 1
+    assert violations[0].rule == "direct-tracer-append"
+    assert "Tracer.log" in violations[0].message
+
+
+def test_direct_tracer_append_flags_nested_attribute_chain():
+    violations = run_rule("direct-tracer-append", """
+        def emit(host, record):
+            host.tracer.records.append(record)
+    """)
+    assert len(violations) == 1
+
+
+def test_direct_tracer_append_allows_tracer_log_and_other_appends():
+    assert run_rule("direct-tracer-append", """
+        def emit(tracer, items, record):
+            tracer.log("send", when=1.0)
+            items.append(record)
+    """) == []
+
+
+def test_direct_tracer_append_flags_print_in_data_path_module():
+    source = textwrap.dedent("""
+        def firmware_step(cell):
+            print("got cell", cell)
+    """)
+    violations = linter.lint_file(
+        "repro/core/ni/snippet.py",
+        get_rules(["direct-tracer-append"]),
+        source=source,
+    )
+    assert len(violations) == 1
+    assert "print" in violations[0].message
+
+
+def test_direct_tracer_append_allows_print_outside_data_path():
+    for path in ("snippet.py", "repro/bench/snippet.py",
+                 "repro/analysis/snippet.py", "repro/obs/snippet.py"):
+        source = textwrap.dedent("""
+            def report(stats):
+                print(stats)
+        """)
+        assert linter.lint_file(
+            path, get_rules(["direct-tracer-append"]), source=source
+        ) == []
+
+
+def test_direct_tracer_append_disable_comment():
+    assert run_rule("direct-tracer-append", """
+        def emit(tracer, record):
+            tracer.records.append(record)  # simlint: disable=direct-tracer-append
+    """) == []

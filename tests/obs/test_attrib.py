@@ -1,0 +1,128 @@
+"""Attribution folds: synthetic geometry plus the fig3 end-to-end invariant."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import attrib, budgets
+from repro.obs.attrib import UNATTRIBUTED, Attribution, fold_spans, merge_mean
+from repro.obs.spans import SpanCollector
+
+
+def _spans(*triples):
+    """Build closed spans from (t0, t1, layer[, parent_idx]) tuples."""
+    col = SpanCollector()
+    made = []
+    for triple in triples:
+        t0, t1, layer = triple[:3]
+        parent = made[triple[3]] if len(triple) > 3 else None
+        made.append(col.add_complete(t0, t1, layer, layer, parent=parent))
+    return made
+
+
+def test_fold_simple_partition():
+    spans = _spans((0.0, 3.0, "host"), (3.0, 7.0, "wire"))
+    att = fold_spans(spans, 0.0, 10.0)
+    assert att.layers == {"host": 3.0, "wire": 4.0, UNATTRIBUTED: 3.0}
+    att.check_sum()
+
+
+def test_fold_deepest_span_wins():
+    spans = _spans((0.0, 10.0, "host"), (2.0, 5.0, "ni_tx", 0))
+    att = fold_spans(spans, 0.0, 10.0)
+    assert att.layers == {"host": 7.0, "ni_tx": 3.0}
+    att.check_sum()
+
+
+def test_fold_equal_depth_later_start_wins():
+    # overlapping siblings: [0,6) host vs [4,8) wire -- wire opened later
+    spans = _spans((0.0, 6.0, "host"), (4.0, 8.0, "wire"))
+    att = fold_spans(spans, 0.0, 8.0)
+    assert att.layers == {"host": 4.0, "wire": 4.0}
+    att.check_sum()
+
+
+def test_fold_clips_to_window():
+    spans = _spans((-5.0, 3.0, "host"), (9.0, 20.0, "wire"))
+    att = fold_spans(spans, 0.0, 10.0)
+    assert att.layers == {"host": 3.0, UNATTRIBUTED: 6.0, "wire": 1.0}
+    att.check_sum()
+
+
+def test_fold_excludes_layers():
+    spans = _spans((0.0, 10.0, "bench"), (1.0, 4.0, "host"))
+    att = fold_spans(spans, 0.0, 10.0, exclude_layers=("bench",))
+    assert att.layers == {"host": 3.0, UNATTRIBUTED: 7.0}
+
+
+def test_fold_ignores_open_spans():
+    col = SpanCollector()
+    col.begin(0.0, "open", "host")  # never ended
+    att = fold_spans(col.spans, 0.0, 5.0)
+    assert att.layers == {UNATTRIBUTED: 5.0}
+
+
+def test_fold_rejects_inverted_window():
+    with pytest.raises(ValueError, match="precedes"):
+        fold_spans([], 5.0, 1.0)
+
+
+def test_check_sum_rejects_drift():
+    att = Attribution(t0=0.0, t1=10.0, layers={"host": 9.0})
+    with pytest.raises(ValueError, match="sum to"):
+        att.check_sum()
+
+
+def test_merge_mean():
+    a = Attribution(0.0, 10.0, {"host": 4.0, "wire": 6.0})
+    b = Attribution(0.0, 20.0, {"host": 8.0, "switch": 12.0})
+    mean = merge_mean([a, b])
+    assert mean.layers == {"host": 6.0, "wire": 3.0, "switch": 6.0}
+    assert mean.window_us == 15.0
+    with pytest.raises(ValueError):
+        merge_mean([])
+
+
+def test_fig3_attribution_sums_to_measured_rtt():
+    """The CI-gated invariant: per-layer components == end-to-end RTT."""
+    from repro.bench import micro
+
+    with obs.collecting() as col:
+        result = micro.raw_rtt(32, n=3)
+
+    per_trip = attrib.attribute_roundtrips(col.spans)
+    assert len(per_trip) == 3
+    for att, sample in zip(per_trip, result.samples):
+        att.check_sum()  # components partition the window exactly
+        assert math.isclose(att.window_us, sample, rel_tol=1e-12)
+        assert UNATTRIBUTED not in att.layers  # fully attributed path
+
+
+def test_fig3_attribution_matches_analytic_budget():
+    from repro.bench import micro
+    from repro.core import UNetCluster
+    from repro.sim import Simulator
+
+    with obs.collecting() as col:
+        micro.raw_rtt(32, n=3)
+    mean = attrib.merge_mean(attrib.attribute_roundtrips(col.spans))
+
+    probe = UNetCluster.pair(Simulator(), ni_kind="sba200")
+    budget = budgets.sba200_single_cell_budget(
+        micro._one_way_wire_us(probe),
+        probe.network.switch.switching_latency_us,
+    )
+    comparison = budgets.compare(mean.layers, budget)
+    assert comparison["ok"], comparison
+    # the model charges exactly the budgeted costs: agreement is tight
+    for layer, delta in comparison["deltas_us"].items():
+        assert abs(delta) < 1e-6, (layer, delta)
+
+
+def test_budget_compare_flags_blowout():
+    budget = {"host": 5.0, "wire": 10.0}
+    measured = {"host": 5.0, "wire": 10.0, "kernel": 40.0}
+    comparison = budgets.compare(measured, budget)
+    assert not comparison["ok"]
+    assert comparison["deltas_us"]["kernel"] == 40.0

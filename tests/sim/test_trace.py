@@ -83,3 +83,50 @@ class TestStatSeries:
         assert len(s) == 0
         s.add(1.0)
         assert len(s) == 1
+
+
+class TestTracerRing:
+    def test_max_records_bounds_buffer(self):
+        tracer = Tracer(enabled=True, max_records=3)
+        for i in range(5):
+            tracer.log(float(i), "cat", f"m{i}")
+        assert len(tracer.records) == 3
+        assert [r.message for r in tracer.records] == ["m2", "m3", "m4"]
+        assert tracer.records_dropped == 2
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer(enabled=True)
+        for i in range(100):
+            tracer.log(float(i), "cat", "m")
+        assert len(tracer.records) == 100
+        assert tracer.records_dropped == 0
+
+    def test_max_records_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_records"):
+            Tracer(max_records=0)
+        with pytest.raises(ValueError, match="max_records"):
+            Tracer(max_records=-1)
+
+    def test_snapshot_is_plain_dict(self):
+        tracer = Tracer()
+        tracer.count("drops", 2)
+        tracer.count("sends")
+        snap = tracer.snapshot()
+        assert snap == {"drops": 2, "sends": 1}
+        assert type(snap) is dict
+        snap["drops"] = 99  # a copy: mutating it leaves the tracer alone
+        assert tracer["drops"] == 2
+
+
+class TestStatSeriesEmpty:
+    def test_empty_minimum_raises(self):
+        with pytest.raises(ValueError, match="no samples in series 'rtt'"):
+            StatSeries(name="rtt").minimum
+
+    def test_empty_maximum_raises(self):
+        with pytest.raises(ValueError, match="no samples in series 'rtt'"):
+            StatSeries(name="rtt").maximum
+
+    def test_empty_stddev_raises(self):
+        with pytest.raises(ValueError, match="no samples in series 'rtt'"):
+            StatSeries(name="rtt").stddev
