@@ -1,0 +1,130 @@
+# simlint: disable-file=wall-clock -- compares wall-clock benchmark runs.
+"""Perf-regression gate: fresh bench_perf run vs. the committed baseline.
+
+Re-measures engine throughput (and, outside ``--engine-only`` mode, the
+quick figure sweeps) on the current tree and compares against the
+numbers committed in ``BENCH_perf.json``.  Throughput may drift with
+machine noise, so a tolerance band applies: the gate fails only when a
+fresh rate drops more than ``--tolerance`` (default 25%) below the
+baseline, i.e. ``fresh < baseline * 0.75``.  Wall-clock times use the
+reciprocal band (``fresh > baseline / 0.75``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py            # CI gate
+    PYTHONPATH=src python benchmarks/perf_gate.py --engine-only
+    PYTHONPATH=src python benchmarks/perf_gate.py --fresh out.json
+
+Exit status: 0 pass, 1 regression, 2 usage/baseline error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import bench_perf
+
+BASELINE = bench_perf.OUTPUT
+
+#: dotted paths into the report; True = higher is better (a rate),
+#: False = lower is better (a wall time).
+RATE_KEYS = [
+    "engine.callback_events_per_sec",
+    "engine.process_events_per_sec",
+]
+WALL_KEYS = [
+    "cache.cold_wall_s",
+]
+
+
+def _dig(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float,
+            engine_only: bool = False) -> list[str]:
+    """Return a list of regression messages (empty = gate passes)."""
+    failures = []
+    wall_keys = [] if engine_only else list(WALL_KEYS)
+    for dotted in RATE_KEYS:
+        base, new = _dig(baseline, dotted), _dig(fresh, dotted)
+        if base is None or new is None or not base:
+            continue
+        floor = base * (1.0 - tolerance)
+        verdict = "FAIL" if new < floor else "ok"
+        print(f"{verdict:>4}  {dotted}: {new:,.0f} vs baseline {base:,.0f} "
+              f"(floor {floor:,.0f})")
+        if new < floor:
+            failures.append(
+                f"{dotted} regressed: {new:,.0f} < {floor:,.0f} "
+                f"({tolerance:.0%} below baseline {base:,.0f})"
+            )
+    for dotted in wall_keys:
+        base, new = _dig(baseline, dotted), _dig(fresh, dotted)
+        if base is None or new is None or not base:
+            continue
+        ceiling = base / (1.0 - tolerance)
+        verdict = "FAIL" if new > ceiling else "ok"
+        print(f"{verdict:>4}  {dotted}: {new:.3f}s vs baseline {base:.3f}s "
+              f"(ceiling {ceiling:.3f}s)")
+        if new > ceiling:
+            failures.append(
+                f"{dotted} regressed: {new:.3f}s > {ceiling:.3f}s "
+                f"({tolerance:.0%} over baseline {base:.3f}s)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument(
+        "--fresh", default=None,
+        help="pre-computed bench_perf report; omitted = measure now",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument(
+        "--engine-only", action="store_true",
+        help="skip figure sweeps; gate engine throughput only (fast)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error("--tolerance must be in (0, 1)")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to gate against")
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.fresh:
+        fresh = json.loads(Path(args.fresh).read_text())
+    else:
+        if args.engine_only:
+            fresh = {"engine": bench_perf.engine_events_per_sec(repeats=3)}
+        else:
+            with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+                bench_perf.main(["--quick", "--output", tmp.name])
+                fresh = json.loads(Path(tmp.name).read_text())
+
+    failures = compare(baseline, fresh, args.tolerance, args.engine_only)
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} regression(s)):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -141,6 +141,16 @@ def _fig8() -> Dict[str, float]:
     }
 
 
+@scenario("fig9")
+def _fig9() -> Dict[str, float]:
+    from repro.bench.ip import tcp_rtt, udp_rtt
+
+    return {
+        "udp_rtt_eth": udp_rtt(64, kind="kernel-eth", n=2).mean_us,
+        "tcp_rtt_unet": tcp_rtt(64, kind="unet", n=2).mean_us,
+    }
+
+
 @scenario("sample_sort")
 def _sample_sort() -> Dict[str, float]:
     """One Split-C app end-to-end over real UAM on the simulated cluster."""

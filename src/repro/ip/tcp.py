@@ -119,7 +119,8 @@ class TcpConnection:
         self._delack_deadline: Optional[float] = None
         self._delack_count = 0
         self._dup_acks = 0
-        self._tick_scheduled = False
+        #: the armed protocol timer, a cancellable pooled handle (or None)
+        self._timer = None
         self._timer_firing = False
         # events
         self._established = Event(self.sim)
@@ -216,6 +217,7 @@ class TcpConnection:
         if self.state in ("CLOSED", "LISTEN"):
             self.state = "CLOSED"
             self._alive = False
+            self._kill_timer()
             return
         self._fin_queued = True
         self._wake_tx()
@@ -366,6 +368,7 @@ class TcpConnection:
         if seg.flag(FLAG_RST):
             self.state = "CLOSED"
             self._alive = False
+            self._kill_timer()
             self._signal_receivers()
             return
         if self.state == "LISTEN" and seg.flag(FLAG_SYN):
@@ -382,6 +385,7 @@ class TcpConnection:
             self.snd_wnd = seg.window
             self.state = "ESTABLISHED"
             self._retx_deadline = None
+            self._wake_timer()
             yield from self._send_ack(force=True)
             if not self._established.triggered:
                 self._established.succeed()
@@ -392,6 +396,7 @@ class TcpConnection:
             self.snd_una = seg.ack
             self.snd_wnd = seg.window
             self._retx_deadline = None
+            self._wake_timer()
             if not self._established.triggered:
                 self._established.succeed()
             self._wake_tx()
@@ -411,6 +416,7 @@ class TcpConnection:
             if self.state == "FIN_WAIT":
                 self.state = "CLOSED"
                 self._alive = False
+                self._kill_timer()
             else:
                 self.state = "CLOSE_WAIT"
             self._signal_receivers()
@@ -455,6 +461,8 @@ class TcpConnection:
             if self.state == "FIN_WAIT" and self._fin_sent:
                 self.state = "CLOSED"
                 self._alive = False
+            # everything acked: cancel (or retarget to a pending delack)
+            self._wake_timer()
         else:
             self._retx_deadline = self.sim.now + self._rto()
             self._wake_timer()
@@ -506,24 +514,64 @@ class TcpConnection:
             self.srtt_us += err / 8
             self.rttvar_us += (abs(err) - self.rttvar_us) / 4
 
-    def _wake_timer(self) -> None:
-        """Arm the protocol timer tick if a deadline exists and the tick
-        loop is not already running (scheduled or mid-handler)."""
-        if self._tick_scheduled or self._timer_firing or not self._alive:
-            return
-        if self._retx_deadline is None and self._delack_deadline is None:
-            return
-        self._tick_scheduled = True
-        self.sim.schedule_callback(self.cfg.timer_granularity_us, self._tick)
+    def _kill_timer(self) -> None:
+        """Drop the armed timer, if any (O(1) — no tombstone event)."""
+        h = self._timer
+        if h is not None:
+            self._timer = None
+            h.cancel()
 
-    def _tick(self) -> None:
-        """One protocol timer tick (a bare callback, no process).
+    def _wake_timer(self) -> None:
+        """(Re-)arm the protocol timer for the earliest pending deadline.
+
+        The timer fires on the next granularity boundary at or after the
+        deadline, preserving the coarse-tick character of the BSD
+        ``pr_slow_timeout`` (§7.8) without a free-running tick chain: an
+        idle connection holds no schedule entry, and clearing the last
+        deadline cancels the armed handle in O(1) instead of letting a
+        stale tick discover it later.  A timer armed *earlier* than the
+        current requirement is left in place — its callback finds no
+        expired deadline and lazily re-arms, so ACKs that repeatedly
+        push the retransmit deadline out cost no cancel/push churn."""
+        if not self._alive:
+            self._kill_timer()
+            return
+        if self._timer_firing:
+            return  # _timer_fire re-arms once the handlers finish
+        rd = self._retx_deadline
+        dd = self._delack_deadline
+        if rd is None:
+            deadline = dd
+        elif dd is None or rd < dd:
+            deadline = rd
+        else:
+            deadline = dd
+        h = self._timer
+        if deadline is None:
+            if h is not None:
+                self._timer = None
+                h.cancel()
+            return
+        g = self.cfg.timer_granularity_us
+        now = self.sim.now
+        ticks = max(1.0, -(-(deadline - now) // g))
+        delay = ticks * g
+        if h is not None:
+            if h.when <= now + delay:
+                return  # already fires early enough; it will re-arm
+            self._timer = None
+            h.cancel()
+        self._timer = self.sim.schedule_timer(delay, self._timer_cb)
+
+    def _timer_cb(self) -> None:
+        """The armed timer fired (a bare callback, no process).
 
         Deadline checks are free; a generator process is spawned only
         when a deadline actually expired, since the expiry handlers
-        consume simulated time.  The next tick is scheduled after the
-        handlers complete, matching the old tick-loop pacing."""
-        self._tick_scheduled = False
+        consume simulated time."""
+        # TimerHandle lifetime discipline: the engine recycled the handle
+        # before invoking us -- drop our reference first.
+        self._timer = None
         if not self._alive:
             return
         now = self.sim.now
@@ -534,9 +582,9 @@ class TcpConnection:
             self.sim.process(
                 self._timer_fire(now, fire_delack), name=f"{self.name}.tmr"
             )
-        elif self._retx_deadline is not None or self._delack_deadline is not None:
-            self._tick_scheduled = True
-            self.sim.schedule_callback(self.cfg.timer_granularity_us, self._tick)
+        else:
+            # a deadline moved later since arming: lazy re-arm
+            self._wake_timer()
 
     def _timer_fire(self, tick_now: float, fire_delack: bool):
         try:

@@ -96,9 +96,14 @@ class SpanCollector:
         # -- engine self-profile (fed by ObsMonitor) --------------------
         self.executed_callbacks = 0
         self.executed_events = 0
+        self.executed_timers = 0
         self.entries_scheduled = 0
         self.max_heap_depth = 0
-        self.wall_by_kind: Dict[str, float] = {"callback": 0.0, "event": 0.0}
+        self.wall_by_kind: Dict[str, float] = {
+            "callback": 0.0,
+            "event": 0.0,
+            "timer": 0.0,
+        }
 
     # -- span lifecycle -------------------------------------------------
     def begin(
@@ -239,10 +244,17 @@ class ObsMonitor:
     def on_execute(self, item: tuple) -> None:
         c = self.collector
         self._pending -= 1
-        kind = "callback" if item[2] is None else "event"
-        if kind == "callback":
+        # entry shapes: None = bare callback, False = pooled timer
+        # (possibly cancelled), anything else = an Event firing.
+        tag = item[2]
+        if tag is None:
+            kind = "callback"
             c.executed_callbacks += 1
+        elif tag is False:
+            kind = "timer"
+            c.executed_timers += 1
         else:
+            kind = "event"
             c.executed_events += 1
         if self._clock is not None:
             now_w = self._clock()

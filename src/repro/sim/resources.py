@@ -20,6 +20,8 @@ class Store:
     that *drop* on overflow instead of exerting back-pressure.
     """
 
+    __slots__ = ("sim", "capacity", "name", "items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -118,6 +120,8 @@ class Resource:
         finally:
             resource.release(req)
     """
+
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue", "_seq")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:

@@ -5,6 +5,7 @@ tests (``tests/analysis/test_cli.py``), which expect simlint to exit
 non-zero here with one ``file:line:rule`` report per rule.
 """
 
+import heapq  # one direct-heapq violation
 import random
 import time
 

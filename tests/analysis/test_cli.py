@@ -22,6 +22,7 @@ ALL_RULES = {
     "mutable-default",
     "schedule-shared-state",
     "direct-tracer-append",
+    "direct-heapq",
 }
 
 

@@ -30,6 +30,7 @@ def test_registry_has_all_rules():
         "mutable-default",
         "schedule-shared-state",
         "direct-tracer-append",
+        "direct-heapq",
     }
 
 
@@ -620,4 +621,53 @@ def test_direct_tracer_append_disable_comment():
     assert run_rule("direct-tracer-append", """
         def emit(tracer, record):
             tracer.records.append(record)  # simlint: disable=direct-tracer-append
+    """) == []
+
+
+# -- direct-heapq ---------------------------------------------------------
+
+def test_direct_heapq_flags_import_outside_sim():
+    violations = run_rule("direct-heapq", """
+        import heapq
+
+        def order(queue, item):
+            heapq.heappush(queue, item)
+    """)
+    assert len(violations) == 1
+    assert violations[0].rule == "direct-heapq"
+    assert violations[0].line == 2
+
+
+def test_direct_heapq_flags_from_import():
+    violations = run_rule("direct-heapq", """
+        from heapq import heappush, heappop
+    """)
+    assert len(violations) == 1
+
+
+def test_direct_heapq_allows_sim_package():
+    for path in ("repro/sim/engine.py", "repro/sim/resources.py",
+                 "src/repro/sim/engine.py"):
+        source = textwrap.dedent("""
+            import heapq
+        """)
+        assert linter.lint_file(
+            path, get_rules(["direct-heapq"]), source=source
+        ) == []
+
+
+def test_direct_heapq_flags_model_code():
+    source = textwrap.dedent("""
+        from heapq import heapify
+    """)
+    violations = linter.lint_file(
+        "repro/ip/tcp.py", get_rules(["direct-heapq"]), source=source
+    )
+    assert len(violations) == 1
+    assert "scheduler owns the heap" in violations[0].message
+
+
+def test_direct_heapq_disable_comment():
+    assert run_rule("direct-heapq", """
+        import heapq  # simlint: disable=direct-heapq
     """) == []

@@ -220,8 +220,23 @@ def test_wall_profile_populates_wall_by_kind():
         sim.process(proc())
         sim.run()
     wall = col.engine_profile()["wall_s_by_kind"]
-    assert set(wall) == {"callback", "event"}
+    assert set(wall) == {"callback", "event", "timer"}
     assert wall["event"] >= 0.0
+
+
+def test_timer_entries_counted_separately():
+    with obs.collecting() as col:
+        sim = Simulator()
+        fired = []
+        sim.schedule_timer(5.0, fired.append, "t")
+        cancelled = sim.schedule_timer(7.0, fired.append, "dead")
+        cancelled.cancel()
+        sim.run()
+    assert fired == ["t"]
+    # both timer entries reach the heap and are executed (the cancelled
+    # one as a no-op pop); neither is misclassified as an event
+    assert col.executed_timers == 2
+    assert col.executed_events == 0
 
 
 def test_env_precedence_race_wins_either_import_order():
