@@ -218,38 +218,122 @@ def scheduler_stats(n_events: int = 50_000) -> dict:
     return stats
 
 
-def obs_profile(n: int = 30) -> dict:
+def obs_profile(n: int = 30, repeats: int = 5) -> dict:
     """Span-tracing cost and engine self-profile on the fig3 ping-pong.
 
     Two numbers matter: the *off* path must stay within noise of the
     seed (the guards are one module-attribute load per instrumented
     function), and the *on* path's overhead factor tells users what a
     traced run costs.
+
+    The factor is measured the same way as the engine core A/B: a
+    warm-up run first, then ``repeats`` interleaved off/on rounds, and
+    the reported factor is the *median of the per-round paired ratios*.
+    A single off-then-on pair is dominated by warm-up and machine drift
+    — early revisions of this harness reported spans-on as 0.82x, i.e.
+    *faster* than off, purely because the off run also paid the import
+    and allocator warm-up.
     """
     from repro import obs
     from repro.bench import micro
 
-    def wall_of(run):
-        t0 = time.perf_counter()
-        run()
-        return time.perf_counter() - t0
+    profile: dict = {}
 
-    baseline = wall_of(lambda: micro.raw_rtt(32, n=n))
-    profile = {}
+    def run_off():
+        micro.raw_rtt(32, n=n)
 
-    def traced():
+    def run_on():
         with obs.collecting(profile_wall=True) as col:
             micro.raw_rtt(32, n=n)
+        profile.clear()
         profile.update(col.engine_profile())
         profile["spans"] = len(col.spans)
 
-    with_spans = wall_of(traced)
+    run_off()  # warm-up: imports, code objects, allocator pools
+    offs, ons = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_off()
+        offs.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_on()
+        ons.append(time.perf_counter() - t0)
+    ratios = sorted(on / off for on, off in zip(ons, offs))
+    mid = len(ratios) // 2
+    median = (
+        ratios[mid]
+        if len(ratios) % 2
+        else (ratios[mid - 1] + ratios[mid]) / 2.0
+    )
     return {
-        "fig3_wall_s_off": round(baseline, 4),
-        "fig3_wall_s_on": round(with_spans, 4),
-        "overhead_factor_on": round(with_spans / baseline, 2) if baseline else None,
+        "fig3_wall_s_off": round(min(offs), 4),
+        "fig3_wall_s_on": round(min(ons), 4),
+        "overhead_factor_on": round(median, 2),
+        "best_of": repeats,
         "engine_profile": profile,
     }
+
+
+def sharded_throughput(repeats: int = 3) -> dict:
+    """The 64-host ring/incast scenario across execution modes.
+
+    Runs ``repro.bench.shard64`` single-core (the baseline every other
+    mode must match bit for bit), in-process sharded (the verification
+    mode: codec + merge on one thread, so its cost *is* the sharding
+    overhead), and multi-process at 2 and 4 shards.  Every sharded run
+    is checked for metric identity against the baseline right here —
+    a perf number from a wrong simulation would be meaningless.
+
+    Speedups are honest wall-clock ratios on *this* machine, recorded
+    next to ``cpu_count``: on a single-core container the conservative
+    windows cannot overlap and mp runs *slower* than the baseline (the
+    sync rounds are pure overhead); the ratio only crosses 1 when real
+    cores are available.  The gate therefore tracks each mode's
+    events/s against its own committed baseline rather than asserting
+    a fixed cross-mode ratio.
+    """
+    import os
+
+    from repro.bench import shard64
+
+    spec = shard64.Ring64Spec(ring_cells=512, incast_cells=128)
+
+    def measure(n_shards: int, mode: str):
+        best, result = None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = shard64.run(n_shards, mode=mode, spec=spec)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        return best, result
+
+    base_wall, base = measure(1, "local")
+    events = base["coordinator"]["events"]
+    report = {
+        "scenario": "ring64",
+        "hosts": spec.n_hosts,
+        "ring_cells": spec.ring_cells,
+        "incast_cells": spec.incast_cells,
+        "events": events,
+        "cpu_count": os.cpu_count(),
+        "best_of": repeats,
+        "identical": True,
+        "local_wall_s": round(base_wall, 3),
+        "local_events_per_sec": round(events / base_wall),
+        "modes": {},
+    }
+    for n_shards, mode in [(2, "inline"), (4, "inline"), (2, "mp"), (4, "mp")]:
+        wall, result = measure(n_shards, mode)
+        if result["islands"] != base["islands"]:
+            report["identical"] = False
+        report["modes"][f"{mode}{n_shards}"] = {
+            "wall_s": round(wall, 3),
+            "events_per_sec": round(result["coordinator"]["events"] / wall),
+            "rounds": result["coordinator"]["rounds"],
+            "speedup_vs_local": round(base_wall / wall, 3),
+        }
+    return report
 
 
 def time_figure(module_name: str) -> dict:
@@ -323,7 +407,8 @@ def main(argv=None) -> int:
         "sweep_workers": sweep_workers(),
         "engine": engine_events_per_sec(repeats=repeats),
         "scheduler": scheduler_stats(),
-        "obs": obs_profile(),
+        "obs": obs_profile(repeats=repeats),
+        "sharded": sharded_throughput(repeats=1 if args.quick else 3),
         "figures": {},
     }
     eng = report["engine"]
@@ -342,6 +427,13 @@ def main(argv=None) -> int:
           f"timer pool hit rate {sched['timer_pool_hit_rate']}")
     print(f"obs: spans-on overhead {report['obs']['overhead_factor_on']}x "
           f"on fig3 ({report['obs']['engine_profile'].get('spans', 0)} spans)")
+    sh = report["sharded"]
+    mode_line = ", ".join(
+        f"{name} {m['speedup_vs_local']}x" for name, m in sh["modes"].items()
+    )
+    print(f"sharded [{sh['scenario']}, {sh['cpu_count']} cpus]: "
+          f"local {sh['local_events_per_sec']:,} events/s; {mode_line} "
+          f"(identical={sh['identical']})")
     for name in figures:
         result = time_figure(name)
         report["figures"][name] = result

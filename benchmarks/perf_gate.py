@@ -1,8 +1,8 @@
 # simlint: disable-file=wall-clock -- compares wall-clock benchmark runs.
 """Perf-regression gate: fresh bench_perf run vs. the committed baseline.
 
-Re-measures engine throughput (and, outside ``--engine-only`` mode, the
-quick figure sweeps) on the current tree and compares against the
+Re-measures engine + sharded throughput (and, outside ``--engine-only``
+mode, the quick figure sweeps) on the current tree and compares against the
 numbers committed in ``BENCH_perf.json``.  Throughput may drift with
 machine noise, so a tolerance band applies: the gate fails only when a
 fresh rate drops more than ``--tolerance`` (default 25%) below the
@@ -35,6 +35,8 @@ BASELINE = bench_perf.OUTPUT
 RATE_KEYS = [
     "engine.callback_events_per_sec",
     "engine.process_events_per_sec",
+    "sharded.local_events_per_sec",
+    "sharded.modes.mp4.events_per_sec",
 ]
 WALL_KEYS = [
     "cache.cold_wall_s",
@@ -55,6 +57,11 @@ def compare(baseline: dict, fresh: dict, tolerance: float,
     """Return a list of regression messages (empty = gate passes)."""
     failures = []
     wall_keys = [] if engine_only else list(WALL_KEYS)
+    if _dig(fresh, "sharded.identical") is False:
+        failures.append(
+            "sharded.identical: sharded ring64 metrics diverged from the "
+            "single-core baseline (correctness, not a perf tolerance)"
+        )
     for dotted in RATE_KEYS:
         base, new = _dig(baseline, dotted), _dig(fresh, dotted)
         if base is None or new is None or not base:
@@ -94,7 +101,7 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25)
     parser.add_argument(
         "--engine-only", action="store_true",
-        help="skip figure sweeps; gate engine throughput only (fast)",
+        help="skip figure sweeps; gate engine + sharded throughput (fast)",
     )
     args = parser.parse_args(argv)
     if not 0.0 < args.tolerance < 1.0:
@@ -110,7 +117,10 @@ def main(argv=None) -> int:
         fresh = json.loads(Path(args.fresh).read_text())
     else:
         if args.engine_only:
-            fresh = {"engine": bench_perf.engine_events_per_sec(repeats=3)}
+            fresh = {
+                "engine": bench_perf.engine_events_per_sec(repeats=3),
+                "sharded": bench_perf.sharded_throughput(repeats=1),
+            }
         else:
             with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
                 bench_perf.main(["--quick", "--output", tmp.name])

@@ -1,0 +1,113 @@
+"""cross-shard-state: reaching through a cut-edge proxy for state.
+
+When a topology is partitioned across shards, an object on the far
+side of a cut edge is represented locally by a
+:class:`~repro.sim.shard.channel.RemoteStub` — a handle that carries
+identity (which shard, which label) but deliberately *no state*: the
+real object lives on another timeline whose clock is somewhere else in
+this shard's past or future, so any attribute read through the stub
+would be a schedule-order accident at best.  The stub raises
+:class:`~repro.sim.shard.errors.CrossShardAccessError` at runtime;
+this rule is the static counterpart, flagging the access patterns
+before a sharded run ever executes them:
+
+* ``link.remote_peer.anything`` — one level beyond the stub handle;
+* ``switch.remote_peers[p].anything`` — same, through the trunk map;
+* ``peer = x.remote_peer`` / ``peer = ch.stub`` followed by
+  ``peer.anything`` — aliased access in the same function scope.
+
+Reading the handle itself (``if link.remote_peer is None``), storing
+it (``self.remote_peers[p] = channel.stub``), or passing it around is
+fine — only going *through* it is flagged.  Cross-shard interaction
+belongs on the channel: send cells, not attribute reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: attributes that hold a cut-edge proxy (``remote_peers`` via subscript)
+_STUB_ATTRS = {"remote_peer", "stub"}
+_STUB_MAPS = {"remote_peers"}
+
+
+def _is_stub_expr(node: ast.AST) -> bool:
+    """True when ``node`` evaluates to a cut-edge proxy handle."""
+    if isinstance(node, ast.Attribute) and node.attr in _STUB_ATTRS:
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr in _STUB_MAPS
+    ):
+        return True
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: "CrossShardStateRule", ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.found: List[Violation] = []
+        #: per-function-scope names aliased to a stub expression
+        self._aliases: List[Set[str]] = [set()]
+
+    def visit_FunctionDef(self, node) -> None:
+        self._aliases.append(set())
+        self.generic_visit(node)
+        self._aliases.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_stub_expr(node.value):
+                    self._aliases[-1].add(target.id)
+                else:
+                    self._aliases[-1].discard(target.id)
+
+    def _aliased(self, name: str) -> bool:
+        return any(name in scope for scope in self._aliases)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+        value = node.value
+        through = None
+        if _is_stub_expr(value):
+            through = ast.unparse(value)
+        elif isinstance(value, ast.Name) and self._aliased(value.id):
+            through = value.id
+        if through is not None:
+            self.found.append(
+                self.rule.violation(
+                    self.ctx,
+                    node,
+                    f"{ast.unparse(node)} reaches through the cut-edge "
+                    f"proxy {through}: the object it stands for is owned "
+                    f"by another shard's timeline, so this read is a "
+                    f"schedule-order accident (CrossShardAccessError at "
+                    f"runtime) — interact through the shard channel "
+                    f"instead",
+                )
+            )
+
+
+@register
+class CrossShardStateRule(Rule):
+    name = "cross-shard-state"
+    description = (
+        "attribute access through a cut-edge proxy (remote_peer / "
+        "remote_peers[...] / channel.stub) reads state owned by another "
+        "shard; use the channel, not the stub"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found

@@ -48,14 +48,40 @@ stores = 0
 
 _source_digest: Optional[str] = None
 
+#: memoized writability probes, keyed by cache directory path — a
+#: read-only or otherwise broken cache location downgrades the cache
+#: to a no-op instead of raising on every sweep point.
+_writable_probe: dict = {}
+
+
+def _writable(directory: Path) -> bool:
+    key = str(directory)
+    cached = _writable_probe.get(key)
+    if cached is not None:
+        return cached
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        probe = directory / f".probe.{os.getpid()}.tmp"
+        with open(probe, "wb") as fh:
+            fh.write(b"ok")
+        os.unlink(probe)
+        ok = True
+    except OSError:
+        ok = False
+    _writable_probe[key] = ok
+    return ok
+
 
 def enabled() -> bool:
-    """True unless ``REPRO_BENCH_CACHE=0`` or instrumentation is live."""
+    """True unless ``REPRO_BENCH_CACHE=0``, instrumentation is live, or
+    the cache directory cannot be written (declined, never an error)."""
     if os.environ.get("REPRO_BENCH_CACHE", "1") == "0":
         return False
     from repro.sim import engine
 
-    return engine._monitor_factory is None
+    if engine._monitor_factory is not None:
+        return False
+    return _writable(cache_dir())
 
 
 def cache_dir() -> Path:
@@ -136,18 +162,37 @@ def cache_key(fn: Callable, item: Any) -> str:
     h.update(source_digest().encode())
     h.update(_fn_source_digest(fn).encode())
     h.update(engine.current_core().encode())
+    # Shard count is part of the execution configuration for the same
+    # reason the scheduler core is: results are bit-identical across
+    # shard counts *by design*, and a cache hit that crossed the
+    # boundary would quietly hide the very divergence the A/B runs
+    # exist to catch.
+    h.update(b"\0shards=%d" % engine.shard_count())
     return h.hexdigest()
 
 
 def lookup(key: str) -> Tuple[bool, Any]:
-    """Return ``(hit, value)``; never raises on a corrupt entry."""
+    """Return ``(hit, value)``; never raises on a corrupt entry.
+
+    A truncated or unpicklable entry (e.g. a writer killed before the
+    atomic rename ever happened, leaving a stale full-size file from an
+    older format) is treated as a miss *and* unlinked, so the sweep
+    recomputes and overwrites it instead of tripping on it every run.
+    """
     global hits, misses
     path = cache_dir() / f"{key}.pkl"
     try:
         with open(path, "rb") as fh:
             value = pickle.load(fh)
+    except FileNotFoundError:
+        misses += 1
+        return False, None
     except (OSError, pickle.PickleError, EOFError, AttributeError):
         misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
         return False, None
     hits += 1
     return True, value
@@ -170,6 +215,7 @@ def store(key: str, value: Any) -> None:
 
 def clear() -> int:
     """Delete all cache entries; returns the number removed."""
+    _writable_probe.clear()
     removed = 0
     directory = cache_dir()
     if directory.is_dir():

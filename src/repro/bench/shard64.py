@@ -1,0 +1,236 @@
+"""64-host ring/incast fabric: the sharded engine's scaling scenario.
+
+The paper's figures stop at the eight-node testbed of §4.2; this
+scenario shows the simulator scaling past it.  Four islands of sixteen
+workstations each hang off their own ASX-200-style switch, and the four
+switches form a unidirectional trunk ring (clockwise, deterministic
+source routing).  Two traffic phases:
+
+* **ring** — every host streams cells to its global neighbour
+  ``(h + 1) mod 64``; border flows cross one trunk.
+* **incast** — at a fixed simulated instant every other host targets
+  host 0, collapsing onto the trunks into island 0 and host 0's single
+  output fiber (the hot-spot pattern §7.8 worries about, scaled up).
+
+The island is the shard grain: each island builds identically under
+one plain simulator (baseline), the in-process sharded engine
+(verification) or one worker process per shard (parallel), with the
+trunks as the only cut edges — built through the
+:class:`~repro.sim.shard.ShardContext` API in every mode so the
+baseline pays the same per-delivery event cost the sharded runs do.
+
+Metrics are deliberately *tie-insensitive*: per-host arrival-time
+multisets (count / ``math.fsum`` over the sorted list / max) and
+per-link cell counters.  Same-instant contention for one output fiber
+makes *which cell* serializes first an engine-internal tie, but the
+multiset of claim instants — and therefore every metric below — is
+invariant, so all three modes must agree bit for bit (enforced in
+``tests/sim/shard/``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.atm.cell import Cell
+from repro.atm.link import Link
+from repro.atm.switch import Switch
+from repro.sim.shard.coordinator import ShardContext, run_partitioned
+from repro.sim.shard.plan import CutEdge, block_owner
+
+#: Ring flow of global host ``g`` uses VCI ``RING_VCI_BASE + g``; the
+#: incast flow uses ``INCAST_VCI_BASE + g``.  Globally unique VCIs keep
+#: multi-switch route tables collision-free without translation.
+RING_VCI_BASE = 32
+INCAST_VCI_BASE = 32 + 256
+
+
+@dataclass(frozen=True)
+class Ring64Spec:
+    """Scenario parameters (defaults: the BENCH_perf configuration)."""
+
+    n_islands: int = 4
+    hosts_per_island: int = 16
+    ring_cells: int = 64
+    incast_cells: int = 32
+    incast_at_us: float = 500.0
+    bandwidth_bps: float = 140_000_000.0
+    propagation_us: float = 0.3
+    switching_latency_us: float = 2.0
+    #: Host TX queues are small so ``put`` paces senders to the wire.
+    tx_queue_cells: int = 8
+    #: Switch output queues absorb the incast hot spot without drops:
+    #: drop *order* under same-instant contention is an engine tie, so
+    #: a lossless fabric keeps every metric tie-insensitive.
+    switch_queue_cells: int = 1_000_000
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_islands * self.hosts_per_island
+
+
+def _trunk_edges(spec: Ring64Spec, n_shards: int, lookahead_us: float):
+    """The ring's cut edges, numbered identically by every builder:
+    edge ``i`` is the trunk from island ``i`` to island ``(i+1) % N``."""
+    edges = []
+    for i in range(spec.n_islands):
+        edges.append(
+            CutEdge(
+                edge_id=i,
+                name=f"trunk{i}-{(i + 1) % spec.n_islands}",
+                src_shard=block_owner(i, spec.n_islands, n_shards),
+                dst_shard=block_owner(
+                    (i + 1) % spec.n_islands, spec.n_islands, n_shards
+                ),
+                lookahead_us=lookahead_us,
+            )
+        )
+    return edges
+
+
+def _route_hops(src_island: int, dst_island: int, n_islands: int) -> List[int]:
+    """Clockwise island sequence from source to destination, inclusive."""
+    hops = [src_island]
+    j = src_island
+    while j != dst_island:
+        j = (j + 1) % n_islands
+        hops.append(j)
+    return hops
+
+
+def _flows(spec: Ring64Spec):
+    """(src_host, dst_host, vci) for every flow in the scenario."""
+    n = spec.n_hosts
+    flows = [(g, (g + 1) % n, RING_VCI_BASE + g) for g in range(n)]
+    if spec.incast_cells:
+        flows += [(g, 0, INCAST_VCI_BASE + g) for g in range(1, n)]
+    return flows
+
+
+def _driver(sim, tx: Link, g: int, spec: Ring64Spec):
+    """One host's traffic: stream to the ring neighbour, then incast."""
+    payload = bytes((g % 251,)) * 48
+    last = spec.ring_cells - 1
+    for i in range(spec.ring_cells):
+        yield tx.put(
+            Cell(vci=RING_VCI_BASE + g, payload=payload, last=i == last, seq=i)
+        )
+    if g != 0 and spec.incast_cells:
+        wait = spec.incast_at_us - sim.now
+        if wait > 0:
+            yield sim.timeout(wait)
+        last = spec.incast_cells - 1
+        for i in range(spec.incast_cells):
+            yield tx.put(
+                Cell(
+                    vci=INCAST_VCI_BASE + g, payload=payload,
+                    last=i == last, seq=i,
+                )
+            )
+
+
+def build_island(ctx: ShardContext, island: int, spec: Ring64Spec):
+    """Construct island ``island`` inside ``ctx.sim``; returns finalize."""
+    sim = ctx.sim
+    h = spec.hosts_per_island
+    trunk_port = h
+    multi = spec.n_islands > 1
+    switch = Switch(
+        sim,
+        n_ports=h + (1 if multi else 0),
+        bandwidth_bps=spec.bandwidth_bps,
+        switching_latency_us=spec.switching_latency_us,
+        output_queue_cells=spec.switch_queue_cells,
+        propagation_us=spec.propagation_us,
+        name=f"sw{island}",
+    )
+
+    if multi:
+        lookahead = switch.output_links[trunk_port].cut_lookahead_us()
+        edges = _trunk_edges(spec, ctx.n_shards, lookahead)
+        inbound = edges[(island - 1) % spec.n_islands]
+        ctx.register_inlet(inbound, *switch.trunk_inlet(trunk_port))
+        switch.bind_trunk_cut(trunk_port, ctx, edges[island])
+
+    # Routes: every flow whose clockwise path crosses this switch.
+    for src, dst, vci in _flows(spec):
+        src_island, dst_island = src // h, dst // h
+        hops = _route_hops(src_island, dst_island, spec.n_islands)
+        if island not in hops:
+            continue
+        in_port = src % h if island == src_island else trunk_port
+        out_port = dst % h if island == dst_island else trunk_port
+        switch.add_route(in_port, vci, out_port, vci)
+
+    # Hosts: a paced TX fiber, an arrival-recording RX tap, one driver.
+    tx_links: List[Link] = []
+    arrivals: List[List[float]] = []
+    for p in range(h):
+        g = island * h + p
+        tx = Link(
+            sim,
+            bandwidth_bps=spec.bandwidth_bps,
+            propagation_us=spec.propagation_us,
+            name=f"h{g}.tx",
+            queue_cells=spec.tx_queue_cells,
+        )
+        tx.connect(switch.input_sink(p), train_sink=switch.input_train_sink(p))
+        seen: List[float] = []
+
+        def rx_sink(cell, _seen=seen, _sim=sim):
+            _seen.append(_sim.now)
+
+        switch.output_links[p].connect(rx_sink)
+        sim.process(_driver(sim, tx, g, spec), name=f"h{g}")
+        tx_links.append(tx)
+        arrivals.append(seen)
+
+    def finalize() -> Dict[str, object]:
+        hosts = []
+        for seen in arrivals:
+            ordered = sorted(seen)
+            hosts.append(
+                {
+                    "rx": len(ordered),
+                    "ts_sum": math.fsum(ordered).hex(),
+                    "ts_max": ordered[-1].hex() if ordered else "empty",
+                }
+            )
+        return {
+            "hosts": hosts,
+            "switched": switch.cells_switched,
+            "unrouted": switch.cells_unrouted,
+            "trunk_cells": (
+                switch.output_links[trunk_port].cells_sent if multi else 0
+            ),
+            "tx_cells": [tx.cells_sent for tx in tx_links],
+            "tx_dropped": [tx.cells_dropped for tx in tx_links],
+        }
+
+    return finalize
+
+
+def run(
+    n_shards: int = 1,
+    mode: str = "auto",
+    spec: Ring64Spec = None,
+    timeout_s: float = 300.0,
+) -> Dict[str, object]:
+    """Run the scenario; returns ``{"islands": {...}, "coordinator": {...}}``.
+
+    The ``islands`` sub-dict is the A/B comparison surface: identical
+    across every ``(n_shards, mode)`` combination.
+    """
+    spec = spec if spec is not None else Ring64Spec()
+    results = run_partitioned(
+        build_island,
+        spec.n_islands,
+        n_shards,
+        spec=spec,
+        mode=mode,
+        timeout_s=timeout_s,
+    )
+    meta = results.pop("__coordinator__", {"rounds": 0, "shards": n_shards})
+    return {"islands": results, "coordinator": meta}

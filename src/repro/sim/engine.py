@@ -91,6 +91,55 @@ _core = os.environ.get("REPRO_SIM_CORE", "calendar")
 if _core not in CORES:  # pragma: no cover - env misuse
     raise ValueError(f"REPRO_SIM_CORE must be one of {CORES}, got {_core!r}")
 
+#: Number of shard timelines new simulators partition their schedule
+#: across.  1 (the default) constructs the plain single-timeline engine
+#: — byte-identical code path to previous releases.  N > 1 routes
+#: construction to :class:`repro.sim.shard.ShardedSimulator`, the
+#: multi-timeline core with deterministic cross-shard merging (see
+#: DESIGN.md §8).  Instrumentation (REPRO_RACE / REPRO_OBS) wins over
+#: sharding: monitored runs always use the single heap timeline.
+_shards = int(os.environ.get("REPRO_SIM_SHARDS", "1"))
+if _shards < 1:  # pragma: no cover - env misuse
+    raise ValueError(f"REPRO_SIM_SHARDS must be >= 1, got {_shards}")
+
+
+def set_shards(n: int) -> None:
+    """Select the shard count for subsequently constructed simulators.
+
+    ``1`` restores the plain single-timeline engine.  Existing
+    simulators are unaffected."""
+    global _shards
+    if not isinstance(n, int) or n < 1:
+        raise ValueError(f"shard count must be a positive integer, got {n!r}")
+    _shards = n
+
+
+def shard_count() -> int:
+    """Shard count new simulators will be built with."""
+    return _shards
+
+
+class use_shards:
+    """Context manager: construct simulators with ``n`` shard timelines.
+
+    >>> with use_shards(4):
+    ...     sim = Simulator()   # 4-timeline sharded engine
+    """
+
+    def __init__(self, n: int):
+        if not isinstance(n, int) or n < 1:
+            raise ValueError(f"shard count must be a positive integer, got {n!r}")
+        self._n = n
+        self._saved: Optional[int] = None
+
+    def __enter__(self) -> "use_shards":
+        self._saved = _shards
+        set_shards(self._n)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        set_shards(self._saved or 1)
+
 
 def set_core(name: str) -> None:
     """Select the scheduler core used by subsequently constructed
@@ -1040,10 +1089,17 @@ class Simulator:
         # When instrumentation is armed, construction routes to the
         # monitored subclass so the base class never pays a per-schedule
         # ``_mon`` check: REPRO_RACE off keeps the exact hot path.  The
-        # seed heap core stays selectable for A/B reference runs.
+        # seed heap core stays selectable for A/B reference runs, and
+        # REPRO_SIM_SHARDS > 1 routes to the sharded multi-timeline
+        # engine (instrumentation wins: the shadow scheduler needs one
+        # totally-ordered container).
         if cls is Simulator:
             if _monitor_factory is not None:
                 return object.__new__(_MonitoredSimulator)
+            if _shards > 1:
+                from repro.sim.shard.sharded import ShardedSimulator
+
+                return object.__new__(ShardedSimulator)
             if _core == "heap":
                 return object.__new__(_HeapSimulator)
         return object.__new__(cls)
@@ -1072,6 +1128,18 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in microseconds."""
         return self._now
+
+    # -- conservative-synchronization accounting ------------------------
+    def earliest_output_time(self, lookahead_us: float = 0.0) -> float:
+        """Lower bound on the timestamp of anything this timeline can
+        still emit: no pending entry fires before ``peek()``, and every
+        externally visible effect an entry produces is at least
+        ``lookahead_us`` after the entry itself (link serialization +
+        propagation + switch transit on cut edges — DESIGN.md §8).  The
+        sharded coordinator exchanges this EOT as its null message;
+        ``inf`` means the timeline is drained and promises nothing."""
+        nxt = self.peek()
+        return nxt if nxt == float("inf") else nxt + lookahead_us
 
     # -- event factories ------------------------------------------------
     def event(self) -> Event:

@@ -1,0 +1,447 @@
+"""Cross-shard channels: the only way state crosses the cut.
+
+Wire format
+-----------
+
+The cell hot path is pickle-free: every record is fixed-layout struct
+packing, so a worker-to-coordinator batch is a single ``bytes`` object
+built with :mod:`struct` and decoded without touching the pickle
+machinery.  Per cell::
+
+    <d H B Q 48s   ts_us  vci  flags  seq  payload     (67 bytes)
+
+``flags`` bit 0 is the AAL5 last-cell bit.  Records group cells::
+
+    <B I           record type (CELL=1 | TRAIN=2)  cell count
+
+A CELL record carries one cell whose ``ts`` is its delivery time; a
+TRAIN record carries a whole back-to-back burst, one packed cell per
+member with its own analytic arrival float, preserving the one-event-
+per-train structure of the fast-path link on the far side.  A batch
+prefixes records with the cut-edge id::
+
+    <I I           edge_id  n_records
+
+Floats survive the codec bit-exactly (IEEE-754 both directions), which
+is what makes the sharded timeline *provably* the single-core one: the
+A/B tests compare delivery timestamps at full precision.
+
+Channel flavours
+----------------
+
+* :class:`DirectChannel` — same timeline (shards=1 baseline, or two
+  islands co-owned by one worker): schedules the delivery callable
+  straight into the simulator.  No codec, no copy.
+* :class:`InlineChannel` — the in-process sharded engine: encodes,
+  decodes, asserts the edge's lookahead promise, then schedules into
+  the *destination shard's* timeline.  This is the verification mode:
+  every fig-scenario A/B run drives the full codec and the lookahead
+  accounting even though no process boundary is crossed.
+* :class:`BufferedChannel` — the multi-process engine: encodes into a
+  per-edge buffer drained by the worker loop into one batch per
+  synchronisation round.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.shard.errors import CrossShardAccessError, ShardError
+from repro.sim.shard.plan import CutEdge
+
+_CELL = struct.Struct("<dHBQ48s")
+_REC = struct.Struct("<BI")
+_BATCH = struct.Struct("<II")
+
+REC_CELL = 1
+REC_TRAIN = 2
+
+#: Slack for the lookahead assertion: delivery floats are computed by
+#: the link in one rounding regime and re-derived bounds in another;
+#: one part in 2**33 of a microsecond is far below any model constant.
+_EPS_US = 1e-9
+
+
+class RemoteStub:
+    """Placeholder for the far end of a cut edge.
+
+    Reading *any* attribute raises :class:`CrossShardAccessError`: the
+    object it stands for lives on another shard (possibly in another
+    process) and its state is not coherent here.  Use the channel API.
+    """
+
+    __slots__ = ("_shard", "_label")
+
+    def __init__(self, shard: int, label: str):
+        object.__setattr__(self, "_shard", shard)
+        object.__setattr__(self, "_label", label)
+
+    def __getattr__(self, name: str):
+        raise CrossShardAccessError(
+            f"direct access to {object.__getattribute__(self, '_label')!r}."
+            f"{name}: object is owned by shard "
+            f"{object.__getattribute__(self, '_shard')} — cross-shard state "
+            f"must go through the channel API"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        raise CrossShardAccessError(
+            f"direct mutation of {object.__getattribute__(self, '_label')!r}."
+            f"{name}: object is owned by shard "
+            f"{object.__getattribute__(self, '_shard')}"
+        )
+
+    def __repr__(self) -> str:  # repr must not raise: debuggers use it
+        return (
+            f"<RemoteStub {object.__getattribute__(self, '_label')!r} "
+            f"@shard{object.__getattribute__(self, '_shard')}>"
+        )
+
+
+def stub_shard(stub: RemoteStub) -> int:
+    """Owning shard of a stub (the one sanctioned read)."""
+    return object.__getattribute__(stub, "_shard")
+
+
+# --------------------------------------------------------------------------
+# Codec
+# --------------------------------------------------------------------------
+
+def _pack_cell(buf: List[bytes], ts: float, cell) -> None:
+    buf.append(
+        _CELL.pack(ts, cell.vci, 1 if cell.last else 0, cell.seq, cell.payload)
+    )
+
+
+def encode_cell(ts: float, cell) -> bytes:
+    """One CELL record: delivery timestamp + packed cell."""
+    return _REC.pack(REC_CELL, 1) + _CELL.pack(
+        ts, cell.vci, 1 if cell.last else 0, cell.seq, cell.payload
+    )
+
+
+def encode_train(arrivals: Sequence[float], cells: Sequence) -> bytes:
+    """One TRAIN record: the whole burst, one packed cell per member."""
+    if len(arrivals) != len(cells):
+        raise ShardError(
+            f"train arity mismatch: {len(arrivals)} arrivals, "
+            f"{len(cells)} cells"
+        )
+    parts = [_REC.pack(REC_TRAIN, len(cells))]
+    for ts, cell in zip(arrivals, cells):
+        _pack_cell(parts, ts, cell)
+    return b"".join(parts)
+
+
+def decode_records(
+    payload: bytes, offset: int = 0, count: Optional[int] = None
+) -> List[Tuple[int, List[Tuple[float, "Cell"]]]]:
+    """Decode records from ``payload``; returns [(rec_type, [(ts, cell)...])].
+
+    Truncated input raises :class:`ShardError` (a worker died mid-write
+    or the pipe corrupted) rather than silently dropping cells.
+    """
+    from repro.atm.cell import Cell  # deferred: sim must not import atm at load
+
+    out: List[Tuple[int, List[Tuple[float, Cell]]]] = []
+    end = len(payload)
+    while offset < end and (count is None or len(out) < count):
+        try:
+            rec_type, n = _REC.unpack_from(payload, offset)
+        except struct.error as exc:
+            raise ShardError(f"truncated channel record header: {exc}") from exc
+        offset += _REC.size
+        if rec_type not in (REC_CELL, REC_TRAIN):
+            raise ShardError(f"unknown channel record type {rec_type}")
+        cells: List[Tuple[float, Cell]] = []
+        for _ in range(n):
+            try:
+                ts, vci, flags, seq, data = _CELL.unpack_from(payload, offset)
+            except struct.error as exc:
+                raise ShardError(f"truncated channel cell: {exc}") from exc
+            offset += _CELL.size
+            cell = object.__new__(Cell)  # payload validated at pack time
+            cell.vci = vci
+            cell.payload = data
+            cell.last = bool(flags & 1)
+            cell.seq = seq
+            cells.append((ts, cell))
+        out.append((rec_type, cells))
+    if offset != end and count is None:
+        raise ShardError(
+            f"trailing bytes in channel batch ({end - offset} unread)"
+        )
+    return out
+
+
+def encode_batch(edge_id: int, records: Sequence[bytes]) -> bytes:
+    """Frame encoded records into one batch blob for the pipe."""
+    return _BATCH.pack(edge_id, len(records)) + b"".join(records)
+
+
+def decode_batch(blob: bytes) -> Tuple[int, List[Tuple[int, List[Tuple[float, "Cell"]]]]]:
+    """Inverse of :func:`encode_batch`: (edge_id, decoded records)."""
+    try:
+        edge_id, n = _BATCH.unpack_from(blob, 0)
+    except struct.error as exc:
+        raise ShardError(f"truncated channel batch header: {exc}") from exc
+    records = decode_records(blob, _BATCH.size, count=n)
+    if len(records) != n:
+        raise ShardError(
+            f"channel batch promised {n} records, decoded {len(records)}"
+        )
+    return edge_id, records
+
+
+# --------------------------------------------------------------------------
+# Channels
+# --------------------------------------------------------------------------
+
+class Channel:
+    """Common surface: where the cut edge's traffic goes.
+
+    ``send_cell`` / ``send_train`` are called by the *source* side's
+    link model with the exact delivery floats it would have scheduled
+    locally; the channel is responsible for making those same floats
+    fire the destination's delivery callables, whatever address space
+    the destination lives in.
+    """
+
+    __slots__ = ("edge", "stub", "cells_sent", "trains_sent")
+
+    def __init__(self, edge: CutEdge):
+        self.edge = edge
+        self.stub = RemoteStub(edge.dst_shard, f"{edge.name}.peer")
+        self.cells_sent = 0
+        self.trains_sent = 0
+
+    def send_cell(self, ts: float, cell) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def send_train(self, arrivals, cells) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class DirectChannel(Channel):
+    """Same-timeline 'cut': schedule the delivery callable directly.
+
+    Used for the shards=1 baseline of sharded scenarios and for edges
+    between two islands the same worker owns.  Timestamps and event
+    structure are exactly what a connected link would produce, so the
+    baseline is a fair A/B reference.
+    """
+
+    __slots__ = ("_sim", "_deliver_cell", "_deliver_train")
+
+    def __init__(self, edge: CutEdge, sim, deliver_cell, deliver_train=None):
+        super().__init__(edge)
+        self._sim = sim
+        self._deliver_cell = deliver_cell
+        self._deliver_train = deliver_train
+
+    def send_cell(self, ts: float, cell) -> None:
+        self.cells_sent += 1
+        self._sim.schedule_callback_at(ts, self._deliver_cell, cell)
+
+    def send_train(self, arrivals, cells) -> None:
+        from repro.atm.link import CellTrain
+
+        if self._deliver_train is None:
+            raise ShardError(
+                f"cut edge {self.edge.name!r} received a train but has no "
+                f"train delivery target"
+            )
+        self.trains_sent += 1
+        self.cells_sent += len(cells)
+        train = CellTrain(list(cells), list(arrivals))
+        self._sim.schedule_callback_at(arrivals[0], self._deliver_train, train)
+
+
+class InlineChannel(Channel):
+    """In-process sharded engine: codec round trip + cross-timeline schedule.
+
+    Every message is packed and unpacked through the real wire codec and
+    checked against the edge's lookahead promise before being scheduled
+    into the destination shard's timeline — the strongest verification
+    the single-machine A/B can give the multi-process protocol.
+    """
+
+    __slots__ = ("_sim", "_deliver_cell", "_deliver_train")
+
+    def __init__(self, edge: CutEdge, sim, deliver_cell, deliver_train=None):
+        super().__init__(edge)
+        self._sim = sim
+        self._deliver_cell = deliver_cell
+        self._deliver_train = deliver_train
+
+    def _check_lookahead(self, ts: float) -> None:
+        promised = self._sim._now + self.edge.lookahead_us
+        if ts + _EPS_US < promised:
+            raise ShardError(
+                f"cut edge {self.edge.name!r} broke its lookahead promise: "
+                f"delivery at {ts} but now={self._sim._now} + "
+                f"lookahead={self.edge.lookahead_us} promises >= {promised} "
+                f"(was a loss function attached after the edge was bound?)"
+            )
+
+    def send_cell(self, ts: float, cell) -> None:
+        self._check_lookahead(ts)
+        ((_, [(ts2, cell2)]),) = decode_records(encode_cell(ts, cell))
+        self.cells_sent += 1
+        self._sim._schedule_cross(
+            self.edge.dst_shard, ts2, self._deliver_cell, cell2
+        )
+
+    def send_train(self, arrivals, cells) -> None:
+        from repro.atm.link import CellTrain
+
+        if self._deliver_train is None:
+            raise ShardError(
+                f"cut edge {self.edge.name!r} received a train but has no "
+                f"train delivery target"
+            )
+        self._check_lookahead(arrivals[0])
+        ((_, pairs),) = decode_records(encode_train(arrivals, cells))
+        self.trains_sent += 1
+        self.cells_sent += len(pairs)
+        train = CellTrain([c for _, c in pairs], [t for t, _ in pairs])
+        self._sim._schedule_cross(
+            self.edge.dst_shard,
+            train.arrivals_us[0],
+            self._deliver_train,
+            train,
+        )
+
+
+class BufferedChannel(Channel):
+    """Multi-process outlet: pack records into the round's batch buffer.
+
+    The worker loop drains :meth:`take` once per synchronisation round
+    and ships the frame over the coordinator pipe with ``send_bytes``.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, edge: CutEdge):
+        super().__init__(edge)
+        self._records: List[bytes] = []
+
+    def send_cell(self, ts: float, cell) -> None:
+        self.cells_sent += 1
+        self._records.append(encode_cell(ts, cell))
+
+    def send_train(self, arrivals, cells) -> None:
+        self.trains_sent += 1
+        self.cells_sent += len(cells)
+        self._records.append(encode_train(arrivals, cells))
+
+    @property
+    def pending(self) -> int:
+        return len(self._records)
+
+    def take(self) -> Optional[bytes]:
+        """Drain buffered records into one framed batch (None if empty)."""
+        if not self._records:
+            return None
+        blob = encode_batch(self.edge.edge_id, self._records)
+        self._records = []
+        return blob
+
+
+class InletRegistry:
+    """Destination-side delivery table: edge_id -> (cell sink, train sink).
+
+    Workers (and the shards=1 baseline context) register where each
+    incoming cut edge's traffic should be delivered; :meth:`inject`
+    replays a decoded batch into the local simulator in deterministic
+    order.
+    """
+
+    def __init__(self, sim):
+        self._sim = sim
+        self._sinks: Dict[int, Tuple[Callable, Optional[Callable]]] = {}
+
+    def register(
+        self,
+        edge_id: int,
+        deliver_cell: Callable,
+        deliver_train: Optional[Callable] = None,
+    ) -> None:
+        if edge_id in self._sinks:
+            raise ShardError(f"inlet for edge {edge_id} already registered")
+        self._sinks[edge_id] = (deliver_cell, deliver_train)
+
+    def registered(self, edge_id: int) -> bool:
+        return edge_id in self._sinks
+
+    def edge_ids(self) -> List[int]:
+        return list(self._sinks)
+
+    def cell_sink(self, edge_id: int) -> Callable:
+        """Late-bound per-cell delivery target for ``edge_id``.
+
+        Source-side channels are built before the destination island has
+        registered its inlet (islands build in index order), so the sink
+        is resolved per delivery, not at bind time.
+        """
+        sinks = self._sinks
+
+        def deliver(cell):
+            try:
+                sinks[edge_id][0](cell)
+            except KeyError:
+                raise ShardError(
+                    f"no inlet registered for cut edge {edge_id}"
+                ) from None
+
+        return deliver
+
+    def train_sink(self, edge_id: int) -> Callable:
+        """Late-bound train delivery target for ``edge_id``."""
+        sinks = self._sinks
+
+        def deliver(train):
+            entry = sinks.get(edge_id)
+            if entry is None:
+                raise ShardError(
+                    f"no inlet registered for cut edge {edge_id}"
+                )
+            deliver_cell, deliver_train = entry
+            if deliver_train is not None:
+                deliver_train(train)
+            else:
+                # Train-unaware destination: expand to per-cell delivery
+                # at each cell's own analytic arrival (the first cell is
+                # due now; later ones are still on the wire).
+                schedule_at = self._sim.schedule_callback_at
+                cells = train.cells
+                arrivals = train.arrivals_us
+                deliver_cell(cells[0])
+                for i in range(1, len(cells)):
+                    schedule_at(arrivals[i], deliver_cell, cells[i])
+
+        return deliver
+
+    def inject(self, edge_id: int, records) -> int:
+        """Schedule decoded records; returns the number of heap entries."""
+        from repro.atm.link import CellTrain
+
+        try:
+            deliver_cell, deliver_train = self._sinks[edge_id]
+        except KeyError:
+            raise ShardError(
+                f"no inlet registered for cut edge {edge_id}"
+            ) from None
+        schedule_at = self._sim.schedule_callback_at
+        n = 0
+        for rec_type, pairs in records:
+            if rec_type == REC_TRAIN and deliver_train is not None and len(pairs) > 1:
+                train = CellTrain([c for _, c in pairs], [t for t, _ in pairs])
+                schedule_at(train.arrivals_us[0], deliver_train, train)
+                n += 1
+            else:
+                for ts, cell in pairs:
+                    schedule_at(ts, deliver_cell, cell)
+                    n += 1
+        return n

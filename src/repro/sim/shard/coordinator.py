@@ -1,0 +1,510 @@
+"""Multi-process conservative coordinator (hub-and-spoke YAWNS).
+
+One plain :class:`~repro.sim.engine.Simulator` per worker process, each
+owning a contiguous block of the scenario's *islands* (sub-topologies);
+cut edges between islands owned by different workers become
+:class:`BufferedChannel` outlets whose struct-packed batches flow
+through the coordinator.  Synchronisation is the classic synchronous
+conservative window (the YAWNS variant of Chandy-Misra-Bryant, per the
+distributed-OMNeT++ line of work in PAPERS.md):
+
+1. **inject** — the coordinator forwards every in-flight batch to its
+   destination worker (sorted by edge id: deterministic tie order).
+2. **report** — each worker replies with its post-injection earliest
+   pending timestamp ``next_w`` (its EOT promise is ``next_w + la_w``
+   where ``la_w`` is the minimum lookahead over its cross-worker
+   out-edges; ``la_w`` is static and reported once at READY).
+3. **grant** — the coordinator computes the global safe window
+   ``safe = min_w(next_w + la_w)`` and grants it to everyone.
+4. **execute** — each worker runs all events with ``t <= safe``,
+   draining its outlets, and reports the produced batches.
+
+Safety: a message emitted by an event at ``t`` on worker ``w`` carries
+a delivery timestamp ``>= t + la_w >= next_w + la_w >= safe``, so
+nothing a window produces can land inside that same window — every
+worker sees all messages with ``ts <= safe`` before executing past
+them, and ``run(until=safe)`` is exactly the single-core execution of
+that time range (DESIGN.md §8 gives the full derivation).  ``safe``
+grants at least ``min_w next_w``, so every round makes progress; all
+``next_w == inf`` with no batch in flight terminates the run.
+
+The hub relays batches rather than meshing workers peer-to-peer: at
+the shard counts this repo targets (2-16) the pipe hop is noise next
+to window execution, and a single poll loop makes worker death
+detection (:class:`ShardCrashError`, no hangs) trivial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import struct
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim import engine as _engine
+from repro.sim.engine import Simulator
+from repro.sim.shard.channel import (
+    BufferedChannel,
+    Channel,
+    DirectChannel,
+    InletRegistry,
+    decode_batch,
+)
+from repro.sim.shard.errors import ShardCrashError, ShardError
+from repro.sim.shard.plan import CutEdge, block_owner
+
+_INF = float("inf")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+# Message type bytes (worker <-> coordinator, all via send_bytes).
+_MSG_READY = 0x59   # worker: b"Y" f64 la_min, u32 n_inlets, n * u32 edge_id
+_MSG_NEXT = 0x4E    # worker: b"N" f64 next
+_MSG_DONE = 0x44    # worker: b"D" batches
+_MSG_RESULT = 0x52  # worker: b"R" pickled result  (cold path)
+_MSG_ERR = 0x45     # worker: b"E" pickled (reason, traceback)  (cold path)
+_MSG_INJECT = 0x49  # parent: b"I" batches
+_MSG_GRANT = 0x47   # parent: b"G" f64 safe
+_MSG_FINISH = 0x46  # parent: b"F"
+
+
+def _pack_batches(batches: Sequence[bytes]) -> bytes:
+    parts = [_U32.pack(len(batches))]
+    for blob in batches:
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _unpack_batches(payload: bytes, offset: int) -> List[bytes]:
+    (n,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    out = []
+    for _ in range(n):
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        out.append(payload[offset : offset + length])
+        offset += length
+    return out
+
+
+# --------------------------------------------------------------------------
+# The builder-facing context
+# --------------------------------------------------------------------------
+
+class ShardContext:
+    """What an island builder sees, identical across execution modes.
+
+    A scenario builder receives one context per island and uses only
+    this surface for anything that crosses island boundaries:
+
+    * :meth:`register_inlet` — where traffic arriving on a cut edge
+      should be delivered locally;
+    * :meth:`bind_cut` — turn a local :class:`~repro.atm.link.Link`
+      whose far end lives on another island into a channel outlet.
+
+    The same builder then runs unmodified single-process (baseline),
+    inline-sharded (verification), or multi-process (parallel): only
+    the channel flavour behind :meth:`bind_cut` changes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        island: int,
+        n_islands: int,
+        shard: int,
+        n_shards: int,
+        registry: InletRegistry,
+    ):
+        self.sim = sim
+        self.island = island
+        self.n_islands = n_islands
+        self.shard = shard
+        self.n_shards = n_shards
+        self.registry = registry
+
+    def shard_of_island(self, island: int) -> int:
+        return block_owner(island, self.n_islands, self.n_shards)
+
+    def register_inlet(
+        self,
+        edge: CutEdge,
+        deliver_cell: Callable,
+        deliver_train: Optional[Callable] = None,
+    ) -> None:
+        self.registry.register(edge.edge_id, deliver_cell, deliver_train)
+
+    def bind_cut(self, link, edge: CutEdge) -> Channel:
+        channel = self._make_channel(edge)
+        link.bind_cut(channel)
+        return channel
+
+    # mode-specific
+    def _make_channel(self, edge: CutEdge) -> Channel:
+        raise NotImplementedError
+
+
+class _LocalContext(ShardContext):
+    """Everything in one simulator: cuts degrade to direct scheduling."""
+
+    def _make_channel(self, edge: CutEdge) -> Channel:
+        return DirectChannel(
+            edge,
+            self.sim,
+            self.registry.cell_sink(edge.edge_id),
+            self.registry.train_sink(edge.edge_id),
+        )
+
+
+class _InlineContext(ShardContext):
+    """In-process sharded simulator: cuts go through the codec + merge."""
+
+    def _make_channel(self, edge: CutEdge) -> Channel:
+        return self.sim.open_channel(
+            edge,
+            self.registry.cell_sink(edge.edge_id),
+            self.registry.train_sink(edge.edge_id),
+        )
+
+
+class _WorkerContext(ShardContext):
+    """One worker's view: co-owned edges stay direct, the rest buffer."""
+
+    def __init__(self, *args, outlets: List[BufferedChannel]):
+        super().__init__(*args)
+        self._outlets = outlets
+
+    def _make_channel(self, edge: CutEdge) -> Channel:
+        if edge.dst_shard == self.shard:
+            return DirectChannel(
+                edge,
+                self.sim,
+                self.registry.cell_sink(edge.edge_id),
+                self.registry.train_sink(edge.edge_id),
+            )
+        channel = BufferedChannel(edge)
+        self._outlets.append(channel)
+        return channel
+
+
+# --------------------------------------------------------------------------
+# Single-process execution (baseline + inline verification)
+# --------------------------------------------------------------------------
+
+def _run_single(
+    build_island: Callable,
+    n_islands: int,
+    n_shards: int,
+    spec: Any,
+    inline: bool,
+) -> Dict[int, Any]:
+    if inline:
+        from repro.sim.shard.sharded import ShardedSimulator
+
+        sim = ShardedSimulator(n_shards)
+    else:
+        with _engine.use_shards(1):
+            sim = Simulator()
+    registry = InletRegistry(sim)
+    cls = _InlineContext if inline else _LocalContext
+    finalizers = {}
+    for island in range(n_islands):
+        shard = block_owner(island, n_islands, n_shards) if inline else 0
+        ctx = cls(sim, island, n_islands, shard, n_shards, registry)
+        if inline:
+            with sim.shard_scope(shard):
+                finalizers[island] = build_island(ctx, island, spec)
+        else:
+            finalizers[island] = build_island(ctx, island, spec)
+    sim.run()
+    results: Dict[int, Any] = {island: fin() for island, fin in finalizers.items()}
+    results["__coordinator__"] = {
+        "rounds": 0,
+        "shards": n_shards if inline else 1,
+        "mode": "inline" if inline else "local",
+        "events": sim.events_processed,
+    }
+    return results
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+def _worker_main(
+    conn,
+    build_island: Callable,
+    islands: Sequence[int],
+    shard: int,
+    n_islands: int,
+    n_shards: int,
+    spec: Any,
+) -> None:
+    try:
+        # The worker's own simulator is a plain single timeline no
+        # matter what REPRO_SIM_SHARDS says in the parent environment.
+        with _engine.use_shards(1):
+            sim = Simulator()
+        registry = InletRegistry(sim)
+        outlets: List[BufferedChannel] = []
+        finalizers = {}
+        for island in islands:
+            ctx = _WorkerContext(
+                sim, island, n_islands, shard, n_shards, registry,
+                outlets=outlets,
+            )
+            finalizers[island] = build_island(ctx, island, spec)
+
+        la_min = min(
+            (ch.edge.lookahead_us for ch in outlets), default=_INF
+        )
+        inlet_ids = sorted(registry.edge_ids())
+        ready = bytearray()
+        ready.append(_MSG_READY)
+        ready += _F64.pack(la_min)
+        ready += _U32.pack(len(inlet_ids))
+        for eid in inlet_ids:
+            ready += _U32.pack(eid)
+        conn.send_bytes(bytes(ready))
+
+        while True:
+            msg = conn.recv_bytes()
+            kind = msg[0]
+            if kind == _MSG_INJECT:
+                for blob in _unpack_batches(msg, 1):
+                    edge_id, records = decode_batch(blob)
+                    registry.inject(edge_id, records)
+                conn.send_bytes(bytes([_MSG_NEXT]) + _F64.pack(sim.peek()))
+            elif kind == _MSG_GRANT:
+                (safe,) = _F64.unpack_from(msg, 1)
+                sim.run(until=None if safe == _INF else safe)
+                batches = []
+                for ch in outlets:
+                    blob = ch.take()
+                    if blob is not None:
+                        batches.append(blob)
+                conn.send_bytes(bytes([_MSG_DONE]) + _pack_batches(batches))
+            elif kind == _MSG_FINISH:
+                result = {island: fin() for island, fin in finalizers.items()}
+                conn.send_bytes(
+                    bytes([_MSG_RESULT])
+                    + pickle.dumps((result, sim.events_processed), protocol=4)
+                )
+                return
+            else:  # pragma: no cover - protocol bug
+                raise ShardError(f"worker got unknown message {kind:#x}")
+    except BaseException as exc:  # surface, don't hang the coordinator
+        try:
+            conn.send_bytes(
+                bytes([_MSG_ERR])
+                + pickle.dumps((repr(exc), traceback.format_exc()), protocol=4)
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        os._exit(1)
+
+
+# --------------------------------------------------------------------------
+# Coordinator side
+# --------------------------------------------------------------------------
+
+class _WorkerHandle:
+    def __init__(self, shard: int, proc, conn):
+        self.shard = shard
+        self.proc = proc
+        self.conn = conn
+        self.la = _INF
+        self.next = 0.0
+        self.pending: List[bytes] = []
+
+
+def _recv(handle: _WorkerHandle, timeout_s: float) -> bytes:
+    """One message from a worker, or a typed crash — never a hang."""
+    deadline_steps = max(1, int(timeout_s / 0.05))
+    for _ in range(deadline_steps):
+        if handle.conn.poll(0.05):
+            try:
+                return handle.conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise ShardCrashError(
+                    handle.shard, f"pipe closed mid-protocol ({exc!r})"
+                ) from exc
+        if not handle.proc.is_alive():
+            # Drain any parting words before declaring the crash.
+            if handle.conn.poll(0):
+                try:
+                    return handle.conn.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+            raise ShardCrashError(
+                handle.shard,
+                f"worker process died (exitcode={handle.proc.exitcode})",
+            )
+    raise ShardCrashError(
+        handle.shard, f"no protocol message within {timeout_s:.0f}s"
+    )
+
+
+def _expect(handle: _WorkerHandle, kind: int, timeout_s: float) -> bytes:
+    msg = _recv(handle, timeout_s)
+    if msg[0] == _MSG_ERR:
+        reason, tb = pickle.loads(msg[1:])
+        raise ShardCrashError(handle.shard, reason, remote_traceback=tb)
+    if msg[0] != kind:
+        raise ShardCrashError(
+            handle.shard,
+            f"protocol violation: expected {kind:#x}, got {msg[0]:#x}",
+        )
+    return msg
+
+
+def run_partitioned(
+    build_island: Callable,
+    n_islands: int,
+    n_shards: int,
+    spec: Any = None,
+    mode: str = "auto",
+    timeout_s: float = 120.0,
+) -> Dict[int, Any]:
+    """Run a partitioned scenario; returns ``{island: finalize()}``.
+
+    ``build_island(ctx, island, spec)`` constructs one island inside
+    ``ctx.sim`` and returns a zero-argument finalizer producing that
+    island's metrics once the simulation has fully drained.  Modes:
+
+    * ``local`` — one plain simulator, cuts direct (the baseline; also
+      what ``n_shards == 1`` collapses to under ``auto``);
+    * ``inline`` — one in-process :class:`ShardedSimulator`, cuts
+      through the codec (verification);
+    * ``mp`` — one worker process per shard, conservative windows
+      (``auto`` for ``n_shards > 1``).
+
+    All three produce identical metrics; the A/B tests enforce it.
+    """
+    if mode not in ("auto", "local", "inline", "mp"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if n_islands < 1:
+        raise ValueError("need at least one island")
+    if not 1 <= n_shards <= n_islands:
+        raise ValueError(
+            f"shard count must be in 1..{n_islands}, got {n_shards}"
+        )
+    if mode == "auto":
+        mode = "local" if n_shards == 1 else "mp"
+    if mode == "local":
+        return _run_single(build_island, n_islands, 1, spec, inline=False)
+    if mode == "inline":
+        return _run_single(build_island, n_islands, n_shards, spec, inline=True)
+
+    ctx = mp.get_context("fork")
+    owned: Dict[int, List[int]] = {w: [] for w in range(n_shards)}
+    for island in range(n_islands):
+        owned[block_owner(island, n_islands, n_shards)].append(island)
+
+    handles: List[_WorkerHandle] = []
+    try:
+        for w in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn, build_island, owned[w], w,
+                    n_islands, n_shards, spec,
+                ),
+                name=f"repro-shard-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            handles.append(_WorkerHandle(w, proc, parent_conn))
+
+        # READY: collect static lookaheads and the inlet ownership map.
+        edge_owner: Dict[int, int] = {}
+        for h in handles:
+            msg = _expect(h, _MSG_READY, timeout_s)
+            (h.la,) = _F64.unpack_from(msg, 1)
+            (n_inlets,) = _U32.unpack_from(msg, 9)
+            off = 9 + _U32.size
+            for _ in range(n_inlets):
+                (eid,) = _U32.unpack_from(msg, off)
+                off += _U32.size
+                if eid in edge_owner:
+                    raise ShardError(
+                        f"cut edge {eid} registered by both shard "
+                        f"{edge_owner[eid]} and shard {h.shard}"
+                    )
+                edge_owner[eid] = h.shard
+
+        rounds = 0
+        while True:
+            # Phase A: inject in-flight batches, collect true nexts.
+            for h in handles:
+                h.pending.sort(key=lambda blob: _U32.unpack_from(blob, 0)[0])
+                h.conn.send_bytes(
+                    bytes([_MSG_INJECT]) + _pack_batches(h.pending)
+                )
+                h.pending = []
+            for h in handles:
+                msg = _expect(h, _MSG_NEXT, timeout_s)
+                (h.next,) = _F64.unpack_from(msg, 1)
+
+            safe = min(
+                (h.next + h.la for h in handles), default=_INF
+            )
+            if all(h.next == _INF for h in handles):
+                break
+            if safe != _INF:
+                # ``next + la`` and the sender's own timestamp arithmetic
+                # round differently, so an emission can undershoot ``safe``
+                # by a few ULPs.  Shave a margin far below any physical
+                # lookahead but far above ULP noise; clamping at the
+                # earliest pending event keeps every round productive.
+                # Window placement only affects batching, never event
+                # timestamps, so this cannot perturb results.
+                margin = max(1e-9, abs(safe) * 1e-12)
+                safe = max(safe - margin, min(h.next for h in handles))
+
+            # Phase B: grant the window, collect produced batches.
+            rounds += 1
+            for h in handles:
+                h.conn.send_bytes(bytes([_MSG_GRANT]) + _F64.pack(safe))
+            for h in handles:
+                msg = _expect(h, _MSG_DONE, timeout_s)
+                for blob in _unpack_batches(msg, 1):
+                    (eid,) = _U32.unpack_from(blob, 0)
+                    try:
+                        dest = edge_owner[eid]
+                    except KeyError:
+                        raise ShardError(
+                            f"shard {h.shard} emitted a batch for cut edge "
+                            f"{eid}, which no worker registered an inlet for"
+                        ) from None
+                    handles[dest].pending.append(blob)
+
+        results: Dict[int, Any] = {}
+        events = 0
+        for h in handles:
+            h.conn.send_bytes(bytes([_MSG_FINISH]))
+        for h in handles:
+            msg = _expect(h, _MSG_RESULT, timeout_s)
+            part, worker_events = pickle.loads(msg[1:])
+            results.update(part)
+            events += worker_events
+        for h in handles:
+            h.proc.join(timeout=10.0)
+        results["__coordinator__"] = {
+            "rounds": rounds,
+            "shards": n_shards,
+            "mode": "mp",
+            "events": events,
+        }
+        return results
+    finally:
+        for h in handles:
+            if h.proc.is_alive():
+                h.proc.terminate()
+                h.proc.join(timeout=5.0)
+            h.conn.close()

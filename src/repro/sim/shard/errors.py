@@ -1,0 +1,42 @@
+"""Typed failures of the sharded engine.
+
+Everything raised by :mod:`repro.sim.shard` derives from
+:class:`ShardError` so callers can catch the whole family; the two
+subclasses distinguish the failures that need different handling
+(a dead worker vs. a partitioning bug in model code).
+"""
+
+from __future__ import annotations
+
+
+class ShardError(RuntimeError):
+    """Base class for sharded-engine failures (bad plan, protocol misuse)."""
+
+
+class ShardCrashError(ShardError):
+    """A worker process died or errored; carries the shard and cause.
+
+    The coordinator raises this instead of hanging: worker tracebacks
+    are captured in ``remote_traceback`` and every surviving worker is
+    torn down first.
+    """
+
+    def __init__(self, shard: int, reason: str, remote_traceback: str = ""):
+        self.shard = shard
+        self.reason = reason
+        self.remote_traceback = remote_traceback
+        detail = f"\n--- shard {shard} traceback ---\n{remote_traceback}" if (
+            remote_traceback
+        ) else ""
+        super().__init__(f"shard {shard} failed: {reason}{detail}")
+
+
+class CrossShardAccessError(ShardError):
+    """Direct attribute access on an object owned by another shard.
+
+    Anything reached through a cut-edge proxy (``link.remote_peer``)
+    lives in a different timeline — possibly a different OS process —
+    and must be reached through the channel API, never by attribute
+    access.  The ``cross-shard-state`` simlint rule flags this
+    statically; this exception is the runtime backstop.
+    """

@@ -1,0 +1,156 @@
+"""Shard partitioning: who owns what, and where the cut runs.
+
+A :class:`ShardPlan` records two things about a sharded run:
+
+* the *ownership map* — which shard owns each named simulation object
+  (hosts and their NIs follow their network port; the switch of a star
+  sits on shard 0).  Block partitioning keeps neighbouring ports on the
+  same shard, which minimises the cut for the locality-heavy traffic
+  the figures generate (the SSF netsim alignment discipline).
+* the *cut registry* — every link whose two endpoints live on different
+  shards, with its conservative **lookahead**: a lower bound on the gap
+  between the event that emits a message into the edge and the
+  timestamp of its delivery on the far side.  The coordinator's safe
+  window is `min over shards of (earliest pending + min outgoing
+  lookahead)` (DESIGN.md §8); a larger lookahead means wider windows
+  and fewer synchronisation rounds, a *wrong* (too large) lookahead
+  means causality violations — so edges register the bound their link
+  model actually guarantees and the channels assert it on every send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.shard.errors import ShardError
+
+
+def block_owner(index: int, n_items: int, n_shards: int) -> int:
+    """Owner shard of ``index`` under contiguous block partitioning.
+
+    The first ``n_items % n_shards`` shards receive one extra item, and
+    blocks are contiguous: item ``i`` maps to ``i * n_shards // n_items``.
+    """
+    if not 0 <= index < n_items:
+        raise ValueError(f"index {index} out of range (0..{n_items - 1})")
+    return index * n_shards // n_items
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """One unidirectional link crossing the shard cut."""
+
+    edge_id: int
+    name: str
+    src_shard: int
+    dst_shard: int
+    #: Guaranteed minimum gap (µs) between the emitting event and the
+    #: delivery timestamp it produces.  For an analytic fast-path link
+    #: this is serialization + propagation; for a per-cell (lossy) link
+    #: only the propagation delay survives (the serialization end is
+    #: itself an event).  See the derivation in DESIGN.md §8.
+    lookahead_us: float
+
+
+class ShardPlan:
+    """Ownership map plus cut-edge registry for one sharded topology."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self._owners: Dict[str, int] = {}
+        self._edges: List[CutEdge] = []
+        self._by_name: Dict[str, CutEdge] = {}
+
+    # -- ownership ------------------------------------------------------
+    def assign(self, name: str, shard: int) -> int:
+        """Record that ``name`` (a host, NI, switch...) lives on ``shard``."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard {shard} out of range (0..{self.n_shards - 1})"
+            )
+        prev = self._owners.get(name)
+        if prev is not None and prev != shard:
+            raise ShardError(
+                f"{name!r} already assigned to shard {prev}, "
+                f"cannot move it to shard {shard}"
+            )
+        self._owners[name] = shard
+        return shard
+
+    def owner(self, name: str) -> int:
+        try:
+            return self._owners[name]
+        except KeyError:
+            raise ShardError(f"{name!r} is not assigned to any shard") from None
+
+    def owns(self, shard: int, name: str) -> bool:
+        return self._owners.get(name) == shard
+
+    @property
+    def assignments(self) -> Dict[str, int]:
+        return dict(self._owners)
+
+    # -- the cut --------------------------------------------------------
+    def add_edge(
+        self, name: str, src_shard: int, dst_shard: int, lookahead_us: float
+    ) -> CutEdge:
+        """Register a cut-crossing link; returns its :class:`CutEdge`.
+
+        ``lookahead_us`` must be the bound the link model *guarantees*,
+        not a tuning knob: channels assert it per message and the mp
+        coordinator builds safe windows from it.
+        """
+        for shard, role in ((src_shard, "src"), (dst_shard, "dst")):
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(
+                    f"{role} shard {shard} out of range "
+                    f"(0..{self.n_shards - 1})"
+                )
+        if lookahead_us < 0:
+            raise ValueError(f"negative lookahead: {lookahead_us}")
+        if name in self._by_name:
+            raise ShardError(f"cut edge {name!r} already registered")
+        edge = CutEdge(len(self._edges), name, src_shard, dst_shard, lookahead_us)
+        self._edges.append(edge)
+        self._by_name[name] = edge
+        return edge
+
+    @property
+    def edges(self) -> List[CutEdge]:
+        return list(self._edges)
+
+    def edge(self, edge_id: int) -> CutEdge:
+        return self._edges[edge_id]
+
+    def edge_named(self, name: str) -> CutEdge:
+        return self._by_name[name]
+
+    def min_outgoing_lookahead(self, shard: int) -> float:
+        """Smallest lookahead over edges leaving ``shard`` (inf if none).
+
+        This is the term the shard contributes to the global safe
+        window: nothing it still holds can affect another shard sooner
+        than ``earliest pending + this``.
+        """
+        best = float("inf")
+        for e in self._edges:
+            if e.src_shard == shard and e.lookahead_us < best:
+                best = e.lookahead_us
+        return best
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by tests and the bench report."""
+        loads: Dict[int, int] = {s: 0 for s in range(self.n_shards)}
+        for shard in self._owners.values():
+            loads[shard] += 1
+        return {
+            "n_shards": self.n_shards,
+            "owned_per_shard": [loads[s] for s in range(self.n_shards)],
+            "cut_edges": len(self._edges),
+            "min_lookahead_us": min(
+                (e.lookahead_us for e in self._edges), default=float("inf")
+            ),
+        }

@@ -121,3 +121,74 @@ def test_store_is_atomic_and_clear_removes(tmp_cache):
     assert cache.clear() == 4
     assert not list(tmp_cache.glob("*.pkl"))
     assert cache.clear() == 0  # idempotent, also fine on empty/missing dir
+
+
+def test_truncated_entry_is_unlinked_not_served(tmp_cache):
+    key = cache.cache_key(_square, 9)
+    cache.store(key, 81)
+    path = tmp_cache / f"{key}.pkl"
+    path.write_bytes(path.read_bytes()[:2])  # writer died mid-file
+    hit, value = cache.lookup(key)
+    assert (hit, value) == (False, None)
+    assert not path.exists()  # the torn file is gone, not retried forever
+
+
+def test_unwritable_dir_declines_service_but_still_computes(
+    tmp_path, monkeypatch
+):
+    # A regular file where the cache dir's parent should be makes
+    # mkdir() fail even for root (chmod is a no-op under
+    # CAP_DAC_OVERRIDE, so permission bits cannot model this).
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(blocker / "cache"))
+    monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_BENCH_PROCS", "1")
+    cache.reset_counters()
+    CALLS.clear()
+    cache._writable_probe.clear()
+    try:
+        assert not cache.enabled()  # declined, no exception raised
+        assert parallel_map(_square, [1, 2]) == [1, 4]
+        assert CALLS == [1, 2]  # computed straight through, uncached
+        assert (cache.hits, cache.misses, cache.stores) == (0, 0, 0)
+        # the verdict is memoized: repeated sweeps do not re-probe
+        assert cache._writable_probe[str(blocker / "cache")] is False
+    finally:
+        cache._writable_probe.clear()
+        cache.reset_counters()
+
+
+def test_writable_probe_leaves_no_droppings(tmp_cache):
+    assert cache.enabled()
+    assert not list(tmp_cache.glob("*.tmp"))
+    assert not list(tmp_cache.glob(".probe*"))
+
+
+def test_key_varies_by_shard_count(tmp_cache):
+    base = cache.cache_key(_square, 3)
+    with engine.use_shards(2):
+        sharded = cache.cache_key(_square, 3)
+    assert sharded != base
+    with engine.use_shards(1):
+        assert cache.cache_key(_square, 3) == base
+
+
+def test_sweep_workers_budgets_around_shards(monkeypatch):
+    from repro.bench import parallel
+
+    monkeypatch.delenv("REPRO_BENCH_PROCS", raising=False)
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+    assert parallel.sweep_workers() == 8
+    with engine.use_shards(4):
+        assert parallel.sweep_workers() == 2  # 8-CPU budget / 4 shards
+    with engine.use_shards(3):
+        assert parallel.sweep_workers() == 2  # floor division
+    with engine.use_shards(16):
+        assert parallel.sweep_workers() == 1  # never below one
+    # an explicit override is taken literally, shards or not
+    monkeypatch.setenv("REPRO_BENCH_PROCS", "6")
+    with engine.use_shards(4):
+        assert parallel.sweep_workers() == 6
+    monkeypatch.setenv("REPRO_BENCH_PROCS", "garbage")
+    assert parallel.sweep_workers() == 1

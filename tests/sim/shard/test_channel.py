@@ -1,0 +1,158 @@
+"""Wire codec round trips, remote stubs, and channel bookkeeping."""
+
+import struct
+
+import pytest
+
+from repro.atm.cell import Cell
+from repro.sim import Simulator, engine
+from repro.sim.shard import (
+    BufferedChannel,
+    CutEdge,
+    DirectChannel,
+    InletRegistry,
+    RemoteStub,
+    decode_batch,
+    decode_records,
+    encode_batch,
+    encode_cell,
+    encode_train,
+    stub_shard,
+)
+from repro.sim.shard.errors import CrossShardAccessError, ShardError
+
+
+def _cell(vci=42, seq=7, last=True, fill=0xAB):
+    return Cell(vci=vci, payload=bytes((fill,)) * 48, last=last, seq=seq)
+
+
+# -- codec ----------------------------------------------------------------
+
+def test_cell_roundtrip_is_bit_exact():
+    ts = 123.456789012345  # an awkward float; must survive exactly
+    cell = _cell()
+    ((rec_type, pairs),) = decode_records(encode_cell(ts, cell))
+    assert rec_type == 1
+    ((ts2, cell2),) = pairs
+    assert ts2.hex() == ts.hex()
+    assert (cell2.vci, cell2.seq, cell2.last) == (42, 7, True)
+    assert cell2.payload == cell.payload
+
+
+def test_train_roundtrip_preserves_every_arrival():
+    cells = [_cell(seq=i, last=i == 2) for i in range(3)]
+    arrivals = [10.0, 10.0 + 53 * 8 / 140.0, 10.0 + 2 * 53 * 8 / 140.0]
+    ((rec_type, pairs),) = decode_records(encode_train(arrivals, cells))
+    assert rec_type == 2
+    assert [t.hex() for t, _ in pairs] == [a.hex() for a in arrivals]
+    assert [c.seq for _, c in pairs] == [0, 1, 2]
+    assert [c.last for _, c in pairs] == [False, False, True]
+
+
+def test_batch_roundtrip_and_framing():
+    records = [encode_cell(1.0, _cell(seq=0)), encode_train([2.0], [_cell(seq=1)])]
+    edge_id, decoded = decode_batch(encode_batch(9, records))
+    assert edge_id == 9
+    assert [rec_type for rec_type, _ in decoded] == [1, 2]
+
+
+def test_truncated_payloads_raise_typed_errors():
+    blob = encode_cell(1.0, _cell())
+    with pytest.raises(ShardError, match="truncated"):
+        decode_records(blob[:-5])
+    with pytest.raises(ShardError, match="truncated"):
+        decode_records(blob[:3])
+    with pytest.raises(ShardError, match="truncated"):
+        decode_batch(b"\x01")
+
+
+def test_unknown_record_type_and_trailing_bytes_raise():
+    bad = struct.pack("<BI", 77, 0)
+    with pytest.raises(ShardError, match="unknown"):
+        decode_records(bad)
+    # garbage after a valid record reads as a torn next-record header
+    with pytest.raises(ShardError, match="truncated"):
+        decode_records(encode_cell(1.0, _cell()) + b"\x00")
+    # a batch that promises more records than its payload carries
+    with pytest.raises(ShardError, match="promised"):
+        decode_batch(struct.pack("<II", 0, 3) + encode_cell(1.0, _cell()))
+
+
+def test_train_arity_mismatch_raises():
+    with pytest.raises(ShardError, match="arity"):
+        encode_train([1.0, 2.0], [_cell()])
+
+
+# -- remote stubs ---------------------------------------------------------
+
+def test_stub_refuses_reads_and_writes_but_not_repr():
+    stub = RemoteStub(3, "sw1.out4.peer")
+    with pytest.raises(CrossShardAccessError, match="shard 3"):
+        stub.cells_sent
+    with pytest.raises(CrossShardAccessError):
+        stub.cells_sent = 1
+    assert "sw1.out4.peer" in repr(stub)
+    assert stub_shard(stub) == 3
+
+
+# -- channels + registry --------------------------------------------------
+
+def _edge(**kw):
+    defaults = dict(edge_id=0, name="e0", src_shard=0, dst_shard=0,
+                    lookahead_us=1.0)
+    defaults.update(kw)
+    return CutEdge(**defaults)
+
+
+def test_direct_channel_schedules_delivery_at_exact_ts():
+    with engine.use_shards(1):
+        sim = Simulator()
+    got = []
+    ch = DirectChannel(_edge(), sim, lambda cell: got.append((sim.now, cell.seq)))
+    ch.send_cell(4.25, _cell(seq=11))
+    sim.run()
+    assert got == [(4.25, 11)]
+    assert ch.cells_sent == 1
+
+
+def test_buffered_channel_batches_and_drains():
+    ch = BufferedChannel(_edge(edge_id=5))
+    assert ch.take() is None
+    ch.send_cell(1.0, _cell(seq=0))
+    ch.send_train([2.0, 2.1], [_cell(seq=1), _cell(seq=2)])
+    assert ch.pending == 2
+    edge_id, records = decode_batch(ch.take())
+    assert edge_id == 5
+    assert len(records) == 2
+    assert ch.pending == 0 and ch.take() is None
+    assert (ch.cells_sent, ch.trains_sent) == (3, 1)
+
+
+def test_registry_rejects_duplicate_inlets_and_unknown_edges():
+    with engine.use_shards(1):
+        sim = Simulator()
+    registry = InletRegistry(sim)
+    registry.register(0, lambda cell: None)
+    with pytest.raises(ShardError, match="already registered"):
+        registry.register(0, lambda cell: None)
+    with pytest.raises(ShardError, match="no inlet"):
+        registry.inject(1, [(1, [(1.0, _cell())])])
+    # late-bound sinks fail at delivery time, not at bind time
+    sink = registry.cell_sink(9)
+    with pytest.raises(ShardError, match="no inlet"):
+        sink(_cell())
+
+
+def test_registry_inject_replays_at_decoded_timestamps():
+    with engine.use_shards(1):
+        sim = Simulator()
+    registry = InletRegistry(sim)
+    got = []
+    registry.register(2, lambda cell: got.append((sim.now, cell.seq)))
+    _, records = decode_batch(
+        encode_batch(2, [encode_cell(3.5, _cell(seq=1)),
+                         encode_cell(1.25, _cell(seq=0))])
+    )
+    assert registry.inject(2, records) == 2
+    sim.run()
+    assert got == [(1.25, 0), (3.5, 1)]  # time order, not batch order

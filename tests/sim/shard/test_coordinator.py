@@ -1,0 +1,134 @@
+"""The multi-process coordinator: identity, protocol, crash handling.
+
+The ring64 scenario (``repro.bench.shard64``) is the system-level
+workload: four switched islands on a unidirectional trunk ring with a
+ring-neighbour phase and an incast phase.  A shrunk spec keeps the
+suite fast; the identity assertions are still full-precision (the
+finalize dicts carry ``float.hex`` timestamp digests).
+
+Crash tests use deliberately broken island builders; the contract is a
+*typed* :class:`ShardCrashError` naming the shard — never a hang — and
+the worker's remote traceback when the failure was an exception.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import shard64
+from repro.sim.shard import ShardContext, run_partitioned
+from repro.sim.shard.errors import ShardCrashError
+
+SPEC = shard64.Ring64Spec(ring_cells=8, incast_cells=4, incast_at_us=120.0)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return shard64.run(1, mode="local", spec=SPEC)
+
+
+# --------------------------------------------------------------------------
+# Cross-mode identity
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_shards,mode", [
+    (2, "inline"), (4, "inline"), (2, "mp"), (4, "mp"),
+])
+def test_ring64_identical_across_modes(baseline, n_shards, mode):
+    result = shard64.run(n_shards, mode=mode, spec=SPEC, timeout_s=60.0)
+    assert result["islands"] == baseline["islands"]
+    if mode == "mp":
+        assert result["coordinator"]["rounds"] > 0  # windows really ran
+    assert result["coordinator"]["events"] > 0
+
+
+def test_ring64_auto_mode_selection(baseline):
+    assert shard64.run(1, spec=SPEC)["coordinator"]["mode"] == "local"
+    result = shard64.run(2, spec=SPEC, timeout_s=60.0)
+    assert result["coordinator"]["mode"] == "mp"
+    assert result["islands"] == baseline["islands"]
+
+
+def test_ring64_delivers_the_full_traffic_matrix(baseline):
+    islands = baseline["islands"]
+    spec = SPEC
+    # host 0 receives its ring neighbour's stream plus every incast flow
+    host0 = islands[0]["hosts"][0]
+    assert host0["rx"] == spec.ring_cells + (spec.n_hosts - 1) * spec.incast_cells
+    # every other host receives exactly its ring neighbour's stream
+    for island, data in islands.items():
+        for p, host in enumerate(data["hosts"]):
+            if (island, p) != (0, 0):
+                assert host["rx"] == spec.ring_cells, (island, p)
+        assert data["unrouted"] == 0
+        assert data["trunk_cells"] > 0  # the cut carries real traffic
+        assert not any(data["tx_dropped"])
+
+
+# --------------------------------------------------------------------------
+# Argument validation
+# --------------------------------------------------------------------------
+
+def test_run_partitioned_validates_mode_and_shard_count():
+    with pytest.raises(ValueError, match="unknown mode"):
+        run_partitioned(lambda ctx, i, s: dict, 2, 2, mode="turbo")
+    with pytest.raises(ValueError, match="shard count"):
+        run_partitioned(lambda ctx, i, s: dict, 2, 3)
+    with pytest.raises(ValueError, match="shard count"):
+        run_partitioned(lambda ctx, i, s: dict, 2, 0)
+
+
+# --------------------------------------------------------------------------
+# Worker crash propagation
+# --------------------------------------------------------------------------
+
+def _exploding_builder(ctx: ShardContext, island: int, spec):
+    if island == 1:
+        raise RuntimeError("builder kaboom on island 1")
+
+    def finalize():
+        return {}
+
+    return finalize
+
+
+def _exiting_builder(ctx: ShardContext, island: int, spec):
+    if island == 1:
+        os._exit(3)  # simulates an OOM-kill / hard death: no ERR message
+
+    def finalize():
+        return {}
+
+    return finalize
+
+
+def test_builder_exception_becomes_typed_crash_with_traceback():
+    with pytest.raises(ShardCrashError) as info:
+        run_partitioned(_exploding_builder, 2, 2, mode="mp", timeout_s=30.0)
+    err = info.value
+    assert err.shard == 1
+    assert "builder kaboom" in err.reason
+    assert "builder kaboom" in err.remote_traceback
+    assert "shard 1" in str(err)
+
+
+def test_worker_hard_death_becomes_typed_crash_not_hang():
+    with pytest.raises(ShardCrashError) as info:
+        run_partitioned(_exiting_builder, 2, 2, mode="mp", timeout_s=30.0)
+    err = info.value
+    assert err.shard == 1
+    assert "died" in err.reason or "closed" in err.reason
+
+
+def test_crash_leaves_no_live_workers():
+    import multiprocessing
+
+    with pytest.raises(ShardCrashError):
+        run_partitioned(_exploding_builder, 2, 2, mode="mp", timeout_s=30.0)
+    leftovers = [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("repro-shard-")
+    ]
+    for p in leftovers:
+        p.join(timeout=5.0)
+        assert not p.is_alive(), p.name

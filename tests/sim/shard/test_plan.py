@@ -1,0 +1,70 @@
+"""Partition plans: block ownership, cut-edge registry, lookahead."""
+
+import pytest
+
+from repro.sim.shard import CutEdge, ShardPlan, block_owner
+from repro.sim.shard.errors import ShardError
+
+
+def test_block_owner_partitions_contiguously():
+    owners = [block_owner(i, 8, 3) for i in range(8)]
+    assert owners == sorted(owners)  # contiguous blocks
+    assert set(owners) == {0, 1, 2}  # every shard gets work
+    # block sizes differ by at most one
+    counts = [owners.count(s) for s in range(3)]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_block_owner_identity_cases():
+    assert [block_owner(i, 5, 1) for i in range(5)] == [0] * 5
+    assert [block_owner(i, 4, 4) for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_plan_assignments_and_edges():
+    plan = ShardPlan(3)
+    plan.assign("switch", 0)
+    plan.assign("hostA", 1)
+    edge = plan.add_edge("fiberA", 1, 0, lookahead_us=3.2)
+    assert plan.owner("switch") == 0
+    assert plan.owner("hostA") == 1
+    assert edge.edge_id == 0
+    assert plan.edge(0) is edge
+    assert plan.edge_named("fiberA") is edge
+    second = plan.add_edge("fiberB", 0, 2, lookahead_us=1.5)
+    assert second.edge_id == 1  # dense ids in registration order
+
+
+def test_plan_min_outgoing_lookahead():
+    plan = ShardPlan(3)
+    plan.add_edge("a", 0, 1, lookahead_us=5.0)
+    plan.add_edge("b", 0, 2, lookahead_us=2.0)
+    plan.add_edge("c", 1, 0, lookahead_us=9.0)
+    assert plan.min_outgoing_lookahead(0) == 2.0
+    assert plan.min_outgoing_lookahead(1) == 9.0
+    assert plan.min_outgoing_lookahead(2) == float("inf")
+
+
+def test_plan_rejects_bad_shards_and_duplicates():
+    plan = ShardPlan(2)
+    plan.assign("x", 1)
+    plan.assign("x", 1)  # idempotent re-assignment is fine
+    with pytest.raises(ShardError):
+        plan.assign("x", 0)  # moving an object is not
+    with pytest.raises(ValueError):
+        plan.assign("y", 2)  # out of range
+    plan.add_edge("e", 0, 1, lookahead_us=1.0)
+    with pytest.raises(ShardError):
+        plan.add_edge("e", 1, 0, lookahead_us=1.0)  # duplicate name
+    with pytest.raises(ValueError):
+        plan.add_edge("f", 0, 2, lookahead_us=1.0)  # dst out of range
+    with pytest.raises(ValueError):
+        plan.add_edge("g", 0, 1, lookahead_us=-1.0)  # negative lookahead
+    # a shard-level self-edge is legal: two islands of one worker can
+    # share a scenario-level cut edge (it degrades to a direct channel)
+    plan.add_edge("h", 0, 0, lookahead_us=1.0)
+
+
+def test_cut_edge_is_frozen():
+    edge = CutEdge(0, "e", 0, 1, 2.5)
+    with pytest.raises(Exception):
+        edge.lookahead_us = 1.0
