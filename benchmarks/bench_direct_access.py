@@ -26,19 +26,22 @@ def measure(direct: bool, size: int, n: int = 6) -> float:
 
     def sender():
         offset = sa.alloc(size)
-        yield from sa.write_segment(offset, payload)
-        for i in range(n):
-            t0 = sim.now
-            if direct:
-                desc = DirectSendDescriptor(
-                    channel=ch_a.ident, bufs=((offset, size),),
-                    remote_offset=i * size,
-                )
-            else:
-                desc = SendDescriptor(channel=ch_a.ident, bufs=((offset, size),))
-            yield from sa.send(desc)
-            done = yield from sb_wait()
-            stats.add(done - t0)
+        try:
+            yield from sa.write_segment(offset, payload)
+            for i in range(n):
+                t0 = sim.now
+                if direct:
+                    desc = DirectSendDescriptor(
+                        channel=ch_a.ident, bufs=((offset, size),),
+                        remote_offset=i * size,
+                    )
+                else:
+                    desc = SendDescriptor(channel=ch_a.ident, bufs=((offset, size),))
+                yield from sa.send(desc)
+                done = yield from sb_wait()
+                stats.add(done - t0)
+        finally:
+            sa.free(offset, size)
 
     pending = {}
 

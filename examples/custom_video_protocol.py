@@ -57,9 +57,13 @@ def main():
             kind = 1 if is_i else 2
             payload = HEADER.pack(kind, frame, 0) + bytes([frame % 256]) * FRAME_BYTES
             offset = tx.alloc(len(payload))
-            yield from tx.write_segment(offset, payload)
-            desc = SendDescriptor(channel=ch_tx.ident, bufs=((offset, len(payload)),))
-            yield from tx.send(desc)
+            try:
+                yield from tx.write_segment(offset, payload)
+                desc = SendDescriptor(channel=ch_tx.ident, bufs=((offset, len(payload)),))
+                yield from tx.send(desc)
+            except Exception:
+                tx.free(offset, len(payload))
+                raise
             if is_i:
                 unacked_i[frame] = (offset, len(payload))
             else:

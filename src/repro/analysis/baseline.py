@@ -1,0 +1,87 @@
+"""Baseline (grandfathering) support shared by simlint and simflow.
+
+A baseline file records known findings so CI can gate on *new* ones
+only.  Entries are matched by ``(path, rule, message)`` — deliberately
+not by line number, so unrelated edits above a grandfathered finding
+do not resurrect it.  Matching is count-aware: a baseline entry with
+``count: 2`` absorbs at most two identical findings; a third is new.
+
+Usage::
+
+    python -m repro.analysis src --write-baseline --baseline lint.json
+    python -m repro.analysis src --baseline lint.json          # gate
+    python -m repro.analysis --flow src --baseline FLOW_baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+#: bump when the entry format changes incompatibly.
+FORMAT_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class BaselineError(Exception):
+    """The baseline file is unreadable or malformed."""
+
+
+def _key(record) -> Key:
+    """Records are any objects with path/rule/message (Violation, Finding)."""
+    return (record.path, record.rule, record.message)
+
+
+def write_baseline(path: str, records: Sequence) -> None:
+    counts = Counter(_key(record) for record in records)
+    entries = [
+        {"path": p, "rule": r, "message": m, "count": n}
+        for (p, r, m), n in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"version": FORMAT_VERSION, "entries": entries}, handle, indent=2
+        )
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Counter:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise BaselineError(f"baseline {path}: missing 'entries'")
+    if data.get("version") != FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path}: unsupported version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in data["entries"]:
+        try:
+            key = (entry["path"], entry["rule"], entry["message"])
+            counts[key] += int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"baseline {path}: malformed entry: {entry!r}") from exc
+    return counts
+
+
+def suppress(records: Sequence, baseline: Counter) -> Tuple[List, int]:
+    """Split ``records`` into (new, n_suppressed) against the baseline."""
+    budget = Counter(baseline)
+    fresh: List = []
+    suppressed = 0
+    for record in records:
+        key = _key(record)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(record)
+    return fresh, suppressed

@@ -1,7 +1,9 @@
-"""``python -m repro.analysis``: run simlint (and the determinism harness).
+"""``python -m repro.analysis``: run simlint, simflow (``--flow``), or
+the determinism harness.
 
-Exit codes: 0 clean, 1 violations (or a determinism mismatch), 2 usage
-or lint-infrastructure errors (unreadable path, syntax error).
+Exit codes: 0 clean, 1 violations/findings (or a determinism mismatch),
+2 usage or lint-infrastructure errors (unreadable path, syntax error,
+bad baseline file).
 """
 
 from __future__ import annotations
@@ -11,6 +13,12 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    suppress,
+    write_baseline,
+)
 from repro.analysis.linter import LintError, lint_paths
 from repro.analysis.rules import all_rules, get_rules
 
@@ -44,6 +52,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "instead of simlint, run simflow: interprocedural typestate "
+            "(segment buffers, receive descriptors, endpoints, timer "
+            "handles), determinism inference, and cross-shard escape "
+            "analysis over the whole-repo call graph"
+        ),
+    )
+    parser.add_argument(
+        "--flow-checks",
+        metavar="CHECKS",
+        help=(
+            "comma-separated simflow checks to run "
+            "(typestate, determinism, cross-shard; default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "suppress findings recorded in this baseline file (matched by "
+            "path/rule/message, count-aware); works for simlint and --flow"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "instead of failing, write the current findings to the "
+            "--baseline file and exit 0"
+        ),
     )
     parser.add_argument(
         "--determinism",
@@ -91,6 +133,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_baseline_or_none(args):
+    """(baseline Counter or None, exit code or None)."""
+    if not args.baseline or args.write_baseline:
+        return None, None
+    try:
+        return load_baseline(args.baseline), None
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return None, 2
+
+
+def _run_flow(args) -> int:
+    from repro.analysis.flow import analyze_paths
+
+    checks = None
+    if args.flow_checks:
+        checks = [c.strip() for c in args.flow_checks.split(",") if c.strip()]
+    try:
+        findings = analyze_paths(args.paths, checks)
+    except KeyError as exc:
+        print(f"simflow: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (LintError, SyntaxError) as exc:
+        print(f"simflow: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        if not args.baseline:
+            print("simflow: --write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, findings)
+        print(f"simflow: wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+    baseline, code = _load_baseline_or_none(args)
+    suppressed = 0
+    if code is not None:
+        return code
+    if baseline is not None:
+        findings, suppressed = suppress(findings, baseline)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                    "suppressed": suppressed,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if suppressed:
+            print(f"simflow: {suppressed} baselined finding(s) suppressed", file=sys.stderr)
+        if findings:
+            print(f"simflow: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def _run_race_check(args) -> int:
     from repro.analysis.perturb import check_all, scenario_names
 
@@ -126,6 +227,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.name:>18}  {rule.description}")
         return 0
 
+    if args.flow:
+        return _run_flow(args)
+
     if args.race_check:
         return _run_race_check(args)
 
@@ -156,6 +260,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"simlint: {exc}", file=sys.stderr)
         return 2
 
+    if args.write_baseline:
+        if not args.baseline:
+            print("simlint: --write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, violations)
+        print(f"simlint: wrote {len(violations)} violation(s) to {args.baseline}")
+        return 0
+    baseline, code = _load_baseline_or_none(args)
+    if code is not None:
+        return code
+    suppressed = 0
+    if baseline is not None:
+        violations, suppressed = suppress(violations, baseline)
+
     if args.format == "json":
         print(
             json.dumps(
@@ -163,6 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "violations": [v.to_dict() for v in violations],
                     "rules": [rule.name for rule in rules],
                     "count": len(violations),
+                    "suppressed": suppressed,
                 },
                 indent=2,
             )
@@ -170,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         for violation in violations:
             print(violation.format())
+        if suppressed:
+            print(f"simlint: {suppressed} baselined violation(s) suppressed", file=sys.stderr)
         if violations:
             print(f"simlint: {len(violations)} violation(s)", file=sys.stderr)
     return 1 if violations else 0

@@ -1,0 +1,75 @@
+"""A small forward worklist dataflow engine over :mod:`.cfg` graphs.
+
+Facts are dictionaries ``key -> payload``: the *key* is the lattice
+element (its presence is the May-information), the *payload* is
+metadata carried along (witness paths) that does **not** participate
+in the fixpoint — the first payload reaching a key wins, so the
+engine terminates as soon as the key sets stabilise.
+
+The transfer function runs per node and returns two fact sets: one
+for normal successors and one for exception successors.  This lets
+clients model statements whose effect differs on the exceptional
+route (e.g. an allocation that raises never produced its token).
+
+Monotonicity contract: ``transfer`` must be a monotone function of
+the key set (pointwise key filtering plus fixed additions), which
+every client in this package satisfies by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.analysis.flow.cfg import CFG, EXCEPTION, Node
+
+Facts = Dict[Hashable, object]
+#: transfer(node, facts_in) -> (facts_out_normal, facts_out_exception)
+Transfer = Callable[[Node, Facts], Tuple[Facts, Facts]]
+
+
+def merge_into(target: Facts, source: Facts) -> bool:
+    """May-union: add unseen keys; first payload wins.  True if grew."""
+    changed = False
+    for key, payload in source.items():
+        if key not in target:
+            target[key] = payload
+            changed = True
+    return changed
+
+
+class ForwardAnalysis:
+    """Run a forward may-analysis to fixpoint over one CFG."""
+
+    def __init__(self, cfg: CFG, transfer: Transfer):
+        self.cfg = cfg
+        self.transfer = transfer
+        self.ins: Dict[int, Facts] = {node.index: {} for node in cfg.nodes}
+        self.outs: Dict[int, Facts] = {node.index: {} for node in cfg.nodes}
+        self.exc_outs: Dict[int, Facts] = {node.index: {} for node in cfg.nodes}
+
+    def run(self) -> "ForwardAnalysis":
+        queued = {self.cfg.entry}
+        visited = set()
+        work = deque([self.cfg.entry])
+        while work:
+            index = work.popleft()
+            queued.discard(index)
+            visited.add(index)
+            node = self.cfg.nodes[index]
+            out_normal, out_exc = self.transfer(node, dict(self.ins[index]))
+            self.outs[index] = out_normal
+            self.exc_outs[index] = out_exc
+            for dst, kind in self.cfg.succ[index]:
+                source = out_exc if kind == EXCEPTION else out_normal
+                grew = merge_into(self.ins[dst], source)
+                if (grew or dst not in visited) and dst not in queued:
+                    queued.add(dst)
+                    work.append(dst)
+        return self
+
+    def facts_at_exit(self) -> Facts:
+        return self.ins[self.cfg.exit]
+
+    def facts_at_exc_exit(self) -> Facts:
+        return self.ins[self.cfg.exc_exit]

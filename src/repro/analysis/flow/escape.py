@@ -1,0 +1,273 @@
+"""Cross-shard escape analysis: reach-through of cut-edge proxies.
+
+A :class:`~repro.sim.shard.channel.RemoteStub` stands for an object
+owned by *another shard's timeline*; reading state through it is a
+schedule-order accident (``CrossShardAccessError`` at runtime).  The
+syntactic simlint rule (``cross-shard-state``) catches direct patterns
+inside one function; this client runs the same detection on the
+program call graph and additionally catches:
+
+* **helper reach-through** — ``self._peer_of(link).queue`` where the
+  helper returns ``link.remote_peer``;
+* **stored aliases** — ``self._peer = link.remote_peer`` in one
+  method, ``self._peer.queue`` in another.
+
+Two entry points:
+
+* :func:`scan_module` — the flow-insensitive per-file scan, shared
+  with the migrated simlint rule (identical semantics to the old
+  private visitor: direct stub expressions plus same-scope aliases);
+* :func:`check_program` — the whole-program pass, reporting
+  ``flow-cross-shard`` findings with a witness naming the helper or
+  the storing assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import FunctionInfo, Program, own_nodes
+from repro.analysis.flow.report import Finding
+
+#: attributes that hold a cut-edge proxy (``remote_peers`` via subscript)
+STUB_ATTRS = frozenset({"remote_peer", "stub"})
+STUB_MAPS = frozenset({"remote_peers"})
+
+
+def is_stub_expr(node: ast.AST) -> bool:
+    """True when ``node`` evaluates to a cut-edge proxy handle."""
+    if isinstance(node, ast.Attribute) and node.attr in STUB_ATTRS:
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr in STUB_MAPS
+    ):
+        return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# per-file scan (used by the migrated simlint rule)
+# --------------------------------------------------------------------------
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Direct stub reads plus same-scope aliases — the semantics the
+    ``cross-shard-state`` simlint rule has always had."""
+
+    def __init__(self) -> None:
+        self.found: List[Tuple[ast.Attribute, str]] = []
+        self._aliases: List[Set[str]] = [set()]
+
+    def visit_FunctionDef(self, node) -> None:
+        self._aliases.append(set())
+        self.generic_visit(node)
+        self._aliases.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_stub_expr(node.value):
+                    self._aliases[-1].add(target.id)
+                else:
+                    self._aliases[-1].discard(target.id)
+
+    def _aliased(self, name: str) -> bool:
+        return any(name in scope for scope in self._aliases)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+        value = node.value
+        through: Optional[str] = None
+        if is_stub_expr(value):
+            through = ast.unparse(value)
+        elif isinstance(value, ast.Name) and self._aliased(value.id):
+            through = value.id
+        if through is not None:
+            self.found.append((node, through))
+
+
+def scan_module(tree: ast.AST) -> Iterator[Tuple[ast.Attribute, str]]:
+    """Yield ``(attribute node, proxy description)`` reach-through
+    sites in one parsed file."""
+    scanner = _ModuleScanner()
+    scanner.visit(tree)
+    yield from scanner.found
+
+
+# --------------------------------------------------------------------------
+# whole-program pass
+# --------------------------------------------------------------------------
+
+def _stub_returners(program: Program) -> Dict[str, int]:
+    """qualname -> line of functions that return a cut-edge proxy."""
+    returners: Dict[str, int] = {}
+    for fn in program.functions.values():
+        if isinstance(fn.node, ast.Lambda):
+            if is_stub_expr(fn.node.body):
+                returners[fn.qualname] = fn.node.lineno
+            continue
+        single = _single_assignments(fn)
+        for node in own_nodes(fn.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in single:
+                value = single[value.id]
+            if is_stub_expr(value):
+                returners[fn.qualname] = node.lineno
+                break
+    return returners
+
+
+def _single_assignments(fn: FunctionInfo) -> Dict[str, ast.AST]:
+    """name -> value for locals with exactly one plain assignment."""
+    counts: Dict[str, int] = {}
+    values: Dict[str, ast.AST] = {}
+    for node in own_nodes(fn.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                counts[target.id] = counts.get(target.id, 0) + 1
+                values[target.id] = node.value
+    return {n: v for n, v in values.items() if counts[n] == 1}
+
+
+def _stub_attrs(program: Program) -> Dict[Tuple[str, str], Dict[str, str]]:
+    """(module, class) -> {attr -> description of the storing site}
+    for ``self.<attr> = <stub expr>`` assignments."""
+    stored: Dict[Tuple[str, str], Dict[str, str]] = {}
+    for idx in program.indexes:
+        for cls in idx.classes.values():
+            for qual in cls.methods.values():
+                fn = idx.functions[qual]
+                for node in own_nodes(fn.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    if not is_stub_expr(node.value):
+                        continue
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            stored.setdefault((idx.module, cls.name), {})[
+                                target.attr
+                            ] = (
+                                f"self.{target.attr} bound to "
+                                f"{ast.unparse(node.value)} at line "
+                                f"{node.lineno} in {fn.name}()"
+                            )
+    return stored
+
+
+def check_program(program: Program) -> List[Finding]:
+    returners = _stub_returners(program)
+    stored = _stub_attrs(program)
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, int]] = set()
+
+    def flag(
+        fn: FunctionInfo, node: ast.Attribute, through: str, witness: Tuple
+    ) -> None:
+        key = (fn.ctx.path, node.lineno, node.col_offset + 1)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(
+            Finding(
+                path=fn.ctx.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule="flow-cross-shard",
+                message=(
+                    f"{ast.unparse(node)} reaches through the cut-edge "
+                    f"proxy {through}: the object it stands for lives on "
+                    "another shard's timeline, so this read is a "
+                    "schedule-order accident (CrossShardAccessError at "
+                    "runtime) — interact through the shard channel instead"
+                ),
+                function=fn.qualname,
+                witness=witness,
+            )
+        )
+
+    for fn in program.functions.values():
+        if isinstance(fn.node, ast.Lambda):
+            continue
+        resolve = program.resolver(fn)
+        cls_attrs = (
+            stored.get((fn.module, fn.cls), {}) if fn.cls is not None else {}
+        )
+
+        def stub_source(value: ast.AST) -> Optional[Tuple[str, Tuple]]:
+            """(description, witness) when ``value`` is a proxy handle."""
+            if is_stub_expr(value):
+                return ast.unparse(value), ()
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and value.attr in cls_attrs
+            ):
+                return f"self.{value.attr}", (cls_attrs[value.attr],)
+            if isinstance(value, ast.Call):
+                callee = resolve(value)
+                if callee is not None and callee.qualname in returners:
+                    return (
+                        ast.unparse(value.func) + "(...)",
+                        (
+                            f"{callee.name}() returns a cut-edge proxy "
+                            f"at line {returners[callee.qualname]} of "
+                            f"{callee.module}",
+                        ),
+                    )
+            return None
+
+        aliases: Dict[str, Tuple[str, Tuple]] = {}
+        for node in own_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                source = stub_source(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if source is not None:
+                            desc, wit = source
+                            aliases[target.id] = (
+                                target.id,
+                                wit
+                                + (
+                                    f"'{target.id}' bound to {desc} at "
+                                    f"line {node.lineno}",
+                                ),
+                            )
+                        else:
+                            aliases.pop(target.id, None)
+        for node in own_nodes(fn.node):
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Attribute):
+                    continue
+                value = sub.value
+                source = stub_source(value)
+                if source is not None:
+                    desc, wit = source
+                    flag(
+                        fn,
+                        sub,
+                        desc,
+                        wit + (f"read through {desc} at line {sub.lineno}",),
+                    )
+                elif isinstance(value, ast.Name) and value.id in aliases:
+                    desc, wit = aliases[value.id]
+                    flag(
+                        fn,
+                        sub,
+                        desc,
+                        wit + (f"read through '{desc}' at line {sub.lineno}",),
+                    )
+    return findings

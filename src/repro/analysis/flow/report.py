@@ -1,0 +1,47 @@
+"""Finding records and report rendering for simflow.
+
+A :class:`Finding` is simlint's ``Violation`` plus a **witness path**:
+the sequence of source events (allocation, transitions, the may-raise
+statement, the exit kind) that proves the protocol breach, rendered
+indented under the ``file:line:col`` headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One simflow finding at a precise position, with its witness."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    function: str = ""
+    witness: Tuple[str, ...] = field(default_factory=tuple)
+
+    def format(self) -> str:
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        if not self.witness:
+            return head
+        steps = "\n".join(f"    {i + 1}. {s}" for i, s in enumerate(self.witness))
+        return f"{head}\n  witness path:\n{steps}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "function": self.function,
+            "witness": list(self.witness),
+        }
+
+
+def render_text(findings: List[Finding]) -> str:
+    return "\n".join(f.format() for f in findings)

@@ -20,82 +20,21 @@ Reading the handle itself (``if link.remote_peer is None``), storing
 it (``self.remote_peers[p] = channel.stub``), or passing it around is
 fine — only going *through* it is flagged.  Cross-shard interaction
 belongs on the channel: send cells, not attribute reads.
+
+The detection lives in :mod:`repro.analysis.flow.escape` (shared with
+the whole-program ``flow-cross-shard`` pass, which additionally
+follows helper returns and stored ``self`` attributes across methods);
+this rule is the per-file view with the historical name and message.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Set
+from typing import Iterator
 
+from repro.analysis.flow.escape import scan_module
 from repro.analysis.linter import FileContext, Violation
 from repro.analysis.rules import Rule, register
-
-#: attributes that hold a cut-edge proxy (``remote_peers`` via subscript)
-_STUB_ATTRS = {"remote_peer", "stub"}
-_STUB_MAPS = {"remote_peers"}
-
-
-def _is_stub_expr(node: ast.AST) -> bool:
-    """True when ``node`` evaluates to a cut-edge proxy handle."""
-    if isinstance(node, ast.Attribute) and node.attr in _STUB_ATTRS:
-        return True
-    if (
-        isinstance(node, ast.Subscript)
-        and isinstance(node.value, ast.Attribute)
-        and node.value.attr in _STUB_MAPS
-    ):
-        return True
-    return False
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(self, rule: "CrossShardStateRule", ctx: FileContext):
-        self.rule = rule
-        self.ctx = ctx
-        self.found: List[Violation] = []
-        #: per-function-scope names aliased to a stub expression
-        self._aliases: List[Set[str]] = [set()]
-
-    def visit_FunctionDef(self, node) -> None:
-        self._aliases.append(set())
-        self.generic_visit(node)
-        self._aliases.pop()
-
-    visit_AsyncFunctionDef = visit_FunctionDef
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        self.generic_visit(node)
-        for target in node.targets:
-            if isinstance(target, ast.Name):
-                if _is_stub_expr(node.value):
-                    self._aliases[-1].add(target.id)
-                else:
-                    self._aliases[-1].discard(target.id)
-
-    def _aliased(self, name: str) -> bool:
-        return any(name in scope for scope in self._aliases)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        self.generic_visit(node)
-        value = node.value
-        through = None
-        if _is_stub_expr(value):
-            through = ast.unparse(value)
-        elif isinstance(value, ast.Name) and self._aliased(value.id):
-            through = value.id
-        if through is not None:
-            self.found.append(
-                self.rule.violation(
-                    self.ctx,
-                    node,
-                    f"{ast.unparse(node)} reaches through the cut-edge "
-                    f"proxy {through}: the object it stands for is owned "
-                    f"by another shard's timeline, so this read is a "
-                    f"schedule-order accident (CrossShardAccessError at "
-                    f"runtime) — interact through the shard channel "
-                    f"instead",
-                )
-            )
 
 
 @register
@@ -108,6 +47,14 @@ class CrossShardStateRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        visitor = _Visitor(self, ctx)
-        visitor.visit(ctx.tree)
-        yield from visitor.found
+        for node, through in scan_module(ctx.tree):
+            yield self.violation(
+                ctx,
+                node,
+                f"{ast.unparse(node)} reaches through the cut-edge "
+                f"proxy {through}: the object it stands for is owned "
+                f"by another shard's timeline, so this read is a "
+                f"schedule-order accident (CrossShardAccessError at "
+                f"runtime) — interact through the shard channel "
+                f"instead",
+            )

@@ -10,12 +10,13 @@ the scheduling function), the final value depends on the tie-break: a
 schedule-order race.
 
 This is the static side of the dynamic detector in
-:mod:`repro.analysis.race`: the rule resolves the callback target
-inter-procedurally (module functions, ``self`` methods, lexically
-enclosing nested functions, lambdas) and inspects the *callee's* body
-for mutations of module-level or closure-shared names.  Sites it flags
-are exactly the candidates worth running under
-``python -m repro.analysis --race-check``.
+:mod:`repro.analysis.race`: callback targets are resolved through the
+simflow :class:`~repro.analysis.flow.callgraph.ModuleIndex` (module
+functions, ``self`` methods through in-repo base classes, lexically
+enclosing nested functions, lambdas, single-assignment aliases) and
+the *callee's* body is inspected for mutations of module-level or
+closure-shared names.  Sites it flags are exactly the candidates worth
+running under ``python -m repro.analysis --race-check``.
 
 Time separation (any non-zero delay) clears the hazard: the engine
 orders distinct timestamps totally.
@@ -24,8 +25,9 @@ orders distinct timestamps totally.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
+from repro.analysis.flow.callgraph import ModuleIndex, assigned_names, own_nodes
 from repro.analysis.linter import FileContext, Violation
 from repro.analysis.rules import Rule, register
 
@@ -50,34 +52,6 @@ def _is_zero_delay(call: ast.Call) -> bool:
         return isinstance(when, ast.Constant) and when.value in (0, 0.0)
     # schedule_callback_at(<expr>.now, ...) / (<expr>._now, ...)
     return isinstance(when, ast.Attribute) and when.attr in ("now", "_now")
-
-
-def _assigned_names(node: ast.AST) -> Set[str]:
-    """Names bound by plain assignments directly in ``node``'s scope
-    (nested functions and classes bind their own names and are not
-    descended into)."""
-    names: Set[str] = set()
-    body = node.body if hasattr(node, "body") else []
-    stack: List[ast.AST] = list(body)
-    while stack:
-        stmt = stack.pop()
-        if isinstance(
-            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-        ):
-            continue
-        if isinstance(stmt, ast.Assign):
-            for target in stmt.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
-            if isinstance(stmt.target, ast.Name):
-                names.add(stmt.target.id)
-        for child in ast.iter_child_nodes(stmt):
-            if not isinstance(
-                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
-            ):
-                stack.append(child)
-    return names
 
 
 def _base_name(node: ast.AST) -> Optional[str]:
@@ -120,121 +94,6 @@ def _mutations(callee: ast.AST, shared: Set[str]) -> List[Tuple[ast.AST, str]]:
     return found
 
 
-class _Scope:
-    """One lexical function scope on the visitor stack."""
-
-    def __init__(self, node):
-        self.node = node
-        self.locals = _assigned_names(node)
-        self.params = {
-            a.arg
-            for a in (
-                list(node.args.posonlyargs)
-                + list(node.args.args)
-                + list(node.args.kwonlyargs)
-            )
-        } if hasattr(node, "args") else set()
-        #: nested function definitions visible by name
-        self.nested: Dict[str, ast.AST] = {
-            stmt.name: stmt
-            for stmt in getattr(node, "body", [])
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(self, rule: "ScheduleSharedStateRule", ctx: FileContext):
-        self.rule = rule
-        self.ctx = ctx
-        self.module_mutables = _assigned_names(ctx.tree)
-        self.functions: Dict[str, ast.AST] = {
-            stmt.name: stmt
-            for stmt in ctx.tree.body
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
-        self.methods: Dict[str, Dict[str, ast.AST]] = {}
-        for stmt in ctx.tree.body:
-            if isinstance(stmt, ast.ClassDef):
-                self.methods[stmt.name] = {
-                    child.name: child
-                    for child in stmt.body
-                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
-                }
-        self._class: Optional[str] = None
-        self._scopes: List[_Scope] = []
-        self.found: List[Violation] = []
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        previous, self._class = self._class, node.name
-        self.generic_visit(node)
-        self._class = previous
-
-    def visit_FunctionDef(self, node) -> None:
-        self._scopes.append(_Scope(node))
-        self.generic_visit(node)
-        self._scopes.pop()
-
-    visit_AsyncFunctionDef = visit_FunctionDef
-
-    def visit_Call(self, node: ast.Call) -> None:
-        self.generic_visit(node)
-        func = node.func
-        if not (isinstance(func, ast.Attribute) and func.attr in _SCHEDULERS):
-            return
-        if len(node.args) < 2 or not _is_zero_delay(node):
-            return
-        callback = node.args[1]
-        callee, closure_shared = self._resolve(callback)
-        if callee is None:
-            return
-        shared = set(self.module_mutables) | closure_shared
-        for _mutation, name in _mutations(callee, shared):
-            origin = (
-                "closure-shared" if name in closure_shared
-                else "module-level"
-            )
-            target = ast.unparse(callback)
-            self.found.append(
-                self.rule.violation(
-                    self.ctx,
-                    node,
-                    f"zero-delay {func.attr} runs {target} at the current "
-                    f"instant, and it mutates {origin} {name!r}; the order "
-                    f"against other same-timestamp entries is an insertion "
-                    f"accident — add a time separation or verify with "
-                    f"--race-check",
-                )
-            )
-            return  # one violation per schedule site
-
-    def _resolve(
-        self, callback: ast.AST
-    ) -> Tuple[Optional[ast.AST], Set[str]]:
-        """The callee's AST plus the closure names it shares with the
-        scheduling code (empty for module functions / methods)."""
-        if isinstance(callback, ast.Lambda):
-            return callback, self._enclosing_locals()
-        if isinstance(callback, ast.Name):
-            for scope in reversed(self._scopes):
-                if callback.id in scope.nested:
-                    return scope.nested[callback.id], self._enclosing_locals()
-            return self.functions.get(callback.id), set()
-        if (
-            isinstance(callback, ast.Attribute)
-            and isinstance(callback.value, ast.Name)
-            and callback.value.id == "self"
-            and self._class is not None
-        ):
-            return self.methods.get(self._class, {}).get(callback.attr), set()
-        return None, set()
-
-    def _enclosing_locals(self) -> Set[str]:
-        names: Set[str] = set()
-        for scope in self._scopes:
-            names |= scope.locals | scope.params
-        return names
-
-
 @register
 class ScheduleSharedStateRule(Rule):
     name = "schedule-shared-state"
@@ -245,6 +104,45 @@ class ScheduleSharedStateRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        visitor = _Visitor(self, ctx)
-        visitor.visit(ctx.tree)
-        yield from visitor.found
+        index = ModuleIndex(ctx)
+        module_mutables = assigned_names(ctx.tree)
+        scopes = [(None, ctx.tree)] + [
+            (fn, fn.node) for fn in index.functions.values()
+        ]
+        for fn, scope_node in scopes:
+            for node in own_nodes(scope_node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr in _SCHEDULERS
+                ):
+                    continue
+                if len(node.args) < 2 or not _is_zero_delay(node):
+                    continue
+                callback = node.args[1]
+                callee = index.resolve_callback(callback, fn)
+                if callee is None:
+                    continue
+                closure_shared: Set[str] = set()
+                if fn is not None and callee.parent is not None:
+                    # nested function / lambda: it can see (and race on)
+                    # the locals of the scheduling function chain
+                    closure_shared = index.enclosing_shared_names(fn)
+                shared = set(module_mutables) | closure_shared
+                for _mutation, name in _mutations(callee.node, shared):
+                    origin = (
+                        "closure-shared" if name in closure_shared
+                        else "module-level"
+                    )
+                    target = ast.unparse(callback)
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"zero-delay {func.attr} runs {target} at the current "
+                        f"instant, and it mutates {origin} {name!r}; the order "
+                        f"against other same-timestamp entries is an insertion "
+                        f"accident — add a time separation or verify with "
+                        f"--race-check",
+                    )
+                    break  # one violation per schedule site

@@ -90,7 +90,11 @@ def raw_rtt(
             make = lambda: SendDescriptor(channel=ch_a.ident, inline=payload)
         else:
             offset = sa.alloc(size)
-            yield from sa.write_segment(offset, payload)
+            try:
+                yield from sa.write_segment(offset, payload)
+            except Exception:
+                sa.free(offset, size)
+                raise
             make = lambda: SendDescriptor(
                 channel=ch_a.ident, bufs=((offset, size),)
             )
@@ -174,7 +178,11 @@ def raw_bandwidth(
             make = lambda: SendDescriptor(channel=ch_a.ident, inline=payload)
         else:
             offset = sa.alloc(size)
-            yield from sa.write_segment(offset, payload)
+            try:
+                yield from sa.write_segment(offset, payload)
+            except Exception:
+                sa.free(offset, size)
+                raise
             make = lambda: SendDescriptor(channel=ch_a.ident, bufs=((offset, size),))
         done["t0"] = sim.now
         for _ in range(n):

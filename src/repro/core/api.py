@@ -140,11 +140,19 @@ class UNetSession:
             return desc
         transient = tx_offset is None
         offset = self.alloc(len(data)) if transient else tx_offset
-        yield from self.write_segment(offset, data)
-        desc = self.make_descriptor(channel, bufs=((offset, len(data)),))
-        yield from self.send(desc)
+        try:
+            yield from self.write_segment(offset, data)
+            desc = self.make_descriptor(channel, bufs=((offset, len(data)),))
+            yield from self.send(desc)
+            if transient:
+                yield self.endpoint.wait_send_complete(desc)
+        except Exception:
+            if transient:
+                # the transient buffer is invisible to the caller; it
+                # must not outlive the failed send
+                self.free(offset, len(data))
+            raise
         if transient:
-            yield self.endpoint.wait_send_complete(desc)
             self.free(offset, len(data))
         return desc
 

@@ -133,13 +133,19 @@ class EmulatedUNet:
                 yield from self._post_real(fwd)
             else:
                 offset = self.real.segment.alloc(len(payload))
-                yield from host.copy(len(payload))
-                self.real.segment.write(offset, payload)
-                fwd = SendDescriptor(
-                    channel=real_ch.ident, bufs=((offset, len(payload)),)
-                )
-                yield from self._post_real(fwd)
-                yield self.real.wait_send_complete(fwd)
+                try:
+                    yield from host.copy(len(payload))
+                    self.real.segment.write(offset, payload)
+                    fwd = SendDescriptor(
+                        channel=real_ch.ident, bufs=((offset, len(payload)),)
+                    )
+                    yield from self._post_real(fwd)
+                    yield self.real.wait_send_complete(fwd)
+                except Exception:
+                    # forwarding failed mid-flight: return the kernel
+                    # bounce buffer instead of leaking it
+                    self.real.segment.free(offset, len(payload))
+                    raise
                 self.real.segment.free(offset, len(payload))
             desc.injected = True
             if desc.completion is not None and not desc.completion.triggered:

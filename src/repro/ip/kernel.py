@@ -126,12 +126,20 @@ class AtmKernelDevice:
             )
             yield from self.host.cpu.compute(self.costs.fore_tx_us, priority=SPLNET)
             offset = self.session.alloc(len(raw))
-            # the interface DMAs straight out of the mbufs: no extra host
-            # copy, only descriptor/DMA setup
-            self.session.endpoint.segment.write(offset, raw)
-            yield from self.host.cpu.compute(10.0, priority=SPLNET)
-            desc = SendDescriptor(channel=self.channel_id, bufs=((offset, len(raw)),))
-            yield from self.session.send(desc)
+            try:
+                # the interface DMAs straight out of the mbufs: no extra host
+                # copy, only descriptor/DMA setup
+                self.session.endpoint.segment.write(offset, raw)
+                yield from self.host.cpu.compute(10.0, priority=SPLNET)
+                desc = SendDescriptor(
+                    channel=self.channel_id, bufs=((offset, len(raw)),)
+                )
+                yield from self.session.send(desc)
+            except Exception:
+                # failed before the firmware took ownership: the buffer
+                # would otherwise leak out of the device segment
+                self.session.free(offset, len(raw))
+                raise
             if _sp is not None:
                 _o.annotate(_sp, bytes=len(raw))
                 _o.end(_sp, self.sim.now)

@@ -186,9 +186,15 @@ class UnetIpStack:
         )
         yield from self.host.compute(self.costs.ip_out_us)
         offset = self.session.alloc(len(raw))
-        yield from self.session.write_segment(offset, raw)
-        desc = SendDescriptor(channel=channel, bufs=((offset, len(raw)),))
-        yield from self.session.send(desc)
+        try:
+            yield from self.session.write_segment(offset, raw)
+            desc = SendDescriptor(channel=channel, bufs=((offset, len(raw)),))
+            yield from self.session.send(desc)
+        except Exception:
+            # the datagram never reached the ring: reclaim now, since no
+            # completion will ever fire for it
+            self.session.free(offset, len(raw))
+            raise
         if _sp is not None:
             _o.annotate(_sp, bytes=len(raw), proto=proto)
             _o.end(_sp, self.sim.now)

@@ -1,0 +1,38 @@
+"""Cross-shard reach-through, three escalating shapes — test fixture.
+
+``direct_reach`` is what the per-file simlint rule already sees;
+``helper_reach`` (proxy returned by a helper) and ``Router.peek``
+(proxy stored on ``self`` in another method) need the whole-program
+escape pass.
+"""
+
+
+def direct_reach(link):
+    # one level beyond the stub handle: flagged by rule and flow pass.
+    return link.remote_peer.clock
+
+
+def get_peer(link):
+    return link.remote_peer
+
+
+def helper_reach(link):
+    # the proxy arrives through a helper return: flow pass only.
+    peer = get_peer(link)
+    return peer.clock
+
+
+class Router:
+    def __init__(self, channel):
+        self.peer_handle = channel.stub
+
+    def peek(self):
+        # the proxy was stored by __init__: flow pass only.
+        return self.peer_handle.queue_depth
+
+
+def handle_is_fine(link):
+    # reading/storing/passing the handle itself is not a reach-through.
+    if link.remote_peer is None:
+        return None
+    return link.remote_peer

@@ -1,0 +1,47 @@
+"""One site per determinism class — simflow test fixture.
+
+``helper_wall_clock`` / ``helper_unseeded`` / ``iterates_set`` carry
+the direct evidence the syntactic rules already see; ``tick`` is the
+interprocedural case only the flow pass catches: it is scheduled as an
+event callback and calls into the nondeterministic helpers without any
+banned call of its own.
+"""
+
+import random
+import time
+
+
+def helper_wall_clock():
+    # wall-clock: host time, not simulated time.
+    return time.time()
+
+
+def helper_unseeded():
+    # unseeded-random: PYTHONHASHSEED-style run-to-run drift.
+    return random.random()
+
+
+def iterates_set(endpoints):
+    # unordered-iter: set order depends on the hash seed.
+    total = 0
+    for ep in {"a", "b", "c"}:
+        total += len(ep)
+    return total
+
+
+def seeded_draw(seed):
+    # seeded-stochastic, NOT nondeterministic: no finding expected.
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def tick():
+    # flow-nondet-call: nondeterminism reached only through the call
+    # graph — no banned call appears on this line or in this function.
+    stamp = helper_wall_clock()
+    jitter = helper_unseeded()
+    return stamp + jitter
+
+
+def boot(sim):
+    sim.schedule_callback(0.0, tick)

@@ -1,0 +1,40 @@
+"""Patterns the typestate checker must NOT flag — test fixture.
+
+Handoff idioms from the real tree: ownership transferred into a
+descriptor, reclaimed by a completion process, protected by
+try/except, or captured by a closure.
+"""
+
+
+def frees_on_every_path(session, data):
+    offset = session.alloc(len(data))
+    try:
+        session.write_segment(offset, data)
+        session.send(offset)
+    except Exception:
+        session.free(offset, len(data))
+        raise
+    session.free(offset, len(data))
+
+
+def hands_ownership_to_descriptor(session, make_desc, data):
+    offset = session.alloc(len(data))
+    desc = make_desc(offset, len(data))
+    return desc
+
+
+def closure_keeps_the_offset(session, n):
+    offset = session.alloc(n)
+    return lambda: (offset, n)
+
+
+def finally_always_frees(session, data):
+    offset = session.alloc(len(data))
+    try:
+        session.write_segment(offset, data)
+    finally:
+        session.free(offset, len(data))
+
+
+def stores_into_table(session, table, key, n):
+    table[key] = session.alloc(n)

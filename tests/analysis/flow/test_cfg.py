@@ -1,0 +1,157 @@
+"""CFG construction: branch structure and exception edges."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.cfg import EXCEPTION, NORMAL, build_cfg
+
+
+def cfg_of(src):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body[0])
+
+
+def node_by_label(cfg, label):
+    hits = [n for n in cfg.nodes if n.label == label]
+    assert len(hits) == 1, f"{label}: {[n.label for n in cfg.nodes]}"
+    return hits[0]
+
+
+def node_by_line(cfg, src_line_contains, src):
+    lines = textwrap.dedent(src).splitlines()
+    lineno = next(
+        i for i, text in enumerate(lines, start=1) if src_line_contains in text
+    )
+    hits = [n for n in cfg.nodes if n.line == lineno]
+    assert hits, f"no node on line {lineno}"
+    return hits[0]
+
+
+def successors(cfg, node, kind):
+    return {dst for dst, k in cfg.succ[node.index] if k == kind}
+
+
+class TestExceptionEdges:
+    def test_bare_call_raises_to_exc_exit(self):
+        src = """
+            def f(s):
+                s.send()
+            """
+        cfg = cfg_of(src)
+        node = node_by_line(cfg, "s.send()", src)
+        assert node.may_raise
+        assert cfg.exc_exit in successors(cfg, node, EXCEPTION)
+
+    def test_non_raising_whitelist(self):
+        cfg = cfg_of(
+            """
+            def f(host, data):
+                yield from host.compute(len(data))
+            """
+        )
+        node = node_by_label(cfg, "expr")
+        assert not node.may_raise
+        assert not successors(cfg, node, EXCEPTION)
+
+    def test_narrow_handler_also_escapes_outward(self):
+        src = """
+            def f(s):
+                try:
+                    s.send()
+                except ValueError:
+                    s.log()
+            """
+        cfg = cfg_of(src)
+        send = node_by_line(cfg, "s.send()", src)
+        handler = node_by_label(cfg, "except")
+        exc = successors(cfg, send, EXCEPTION)
+        # ValueError handler may not match: both the handler head and
+        # the exceptional exit are successors.
+        assert handler.index in exc
+        assert cfg.exc_exit in exc
+
+    def test_catch_all_handler_swallows(self):
+        src = """
+            def f(s):
+                try:
+                    s.send()
+                except Exception:
+                    s.log()
+            """
+        cfg = cfg_of(src)
+        send = node_by_line(cfg, "s.send()", src)
+        exc = successors(cfg, send, EXCEPTION)
+        assert node_by_label(cfg, "except").index in exc
+        assert cfg.exc_exit not in exc
+
+    def test_finally_routes_exception_onward(self):
+        src = """
+            def f(s):
+                try:
+                    s.send()
+                finally:
+                    s.cleanup()
+            """
+        cfg = cfg_of(src)
+        send = node_by_line(cfg, "s.send()", src)
+        join = node_by_label(cfg, "finally")
+        assert successors(cfg, send, EXCEPTION) == {join.index}
+        cleanup = node_by_line(cfg, "s.cleanup()", src)
+        # after the finally body the original exception continues out
+        assert cfg.exc_exit in successors(cfg, cleanup, EXCEPTION)
+
+
+class TestStructure:
+    def test_loop_back_edge_and_exit(self):
+        src = """
+            def f(items):
+                for item in items:
+                    use(item)
+            """
+        cfg = cfg_of(src)
+        head = node_by_label(cfg, "loop")
+        body = node_by_line(cfg, "use(item)", src)
+        assert head.index in successors(cfg, body, NORMAL)
+        assert cfg.exit in successors(cfg, head, NORMAL)
+
+    def test_if_joins_both_arms(self):
+        src = """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        cfg = cfg_of(src)
+        ret = node_by_label(cfg, "return")
+        preds = cfg.preds()[ret.index]
+        assert len([p for p, k in preds if k == NORMAL]) == 2
+
+    def test_return_through_finally_reaches_exit(self):
+        src = """
+            def f(s):
+                try:
+                    return s.value
+                finally:
+                    s.cleanup()
+            """
+        cfg = cfg_of(src)
+        ret = node_by_label(cfg, "return")
+        join = node_by_label(cfg, "finally")
+        assert join.index in successors(cfg, ret, NORMAL)
+        cleanup = node_by_line(cfg, "s.cleanup()", src)
+        assert cfg.exit in successors(cfg, cleanup, NORMAL)
+
+    def test_while_with_break(self):
+        src = """
+            def f(q):
+                while True:
+                    item = q.pop()
+                    if item is None:
+                        break
+            """
+        cfg = cfg_of(src)
+        brk = node_by_label(cfg, "break")
+        # break exits the loop: its frontier feeds the function exit
+        assert cfg.exit in successors(cfg, brk, NORMAL)

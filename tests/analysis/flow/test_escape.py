@@ -1,0 +1,76 @@
+"""Cross-shard escape analysis: reach-through beyond the per-file rule."""
+
+import pytest
+
+from repro.analysis.flow.escape import check_program, scan_module
+from repro.analysis.linter import lint_file
+from repro.analysis.rules import get_rules
+
+from tests.analysis.flow.conftest import FIXTURES, fixture_program
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return check_program(fixture_program("cross_shard_bad.py"))
+
+
+def in_function(findings, bare):
+    return [f for f in findings if f.function.rsplit(".", 1)[-1] == bare]
+
+
+class TestReachThrough:
+    def test_direct_reach(self, findings):
+        (finding,) = in_function(findings, "direct_reach")
+        assert finding.rule == "flow-cross-shard"
+        assert "link.remote_peer.clock" in finding.message
+        assert "interact through the shard channel instead" in finding.message
+
+    def test_through_helper_return(self, findings):
+        (finding,) = in_function(findings, "helper_reach")
+        assert any(
+            "get_peer() returns a cut-edge proxy" in step
+            for step in finding.witness
+        )
+
+    def test_through_stored_self_attribute(self, findings):
+        (finding,) = in_function(findings, "peek")
+        assert any(
+            "self.peer_handle bound to channel.stub" in step
+            for step in finding.witness
+        )
+
+    def test_handle_itself_is_fine(self, findings):
+        assert in_function(findings, "handle_is_fine") == []
+        assert in_function(findings, "get_peer") == []
+
+
+class TestPerFileRuleParity:
+    def test_rule_sees_only_the_direct_case(self):
+        violations = lint_file(
+            str(FIXTURES / "cross_shard_bad.py"),
+            get_rules(["cross-shard-state"]),
+        )
+        assert len(violations) == 1
+        assert "link.remote_peer.clock" in violations[0].message
+        # the flow pass finds strictly more (helper + stored alias)
+        flow = check_program(fixture_program("cross_shard_bad.py"))
+        assert len(flow) == 3
+
+    def test_scan_module_is_the_shared_detector(self):
+        import ast
+        import textwrap
+
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def f(link):
+                    peer = link.remote_peer
+                    return peer.clock
+                """
+            )
+        )
+        hits = list(scan_module(tree))
+        assert len(hits) == 1
+        node, through = hits[0]
+        assert node.attr == "clock"
+        assert through == "peer"
