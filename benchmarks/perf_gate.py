@@ -52,6 +52,27 @@ def _dig(report: dict, dotted: str):
     return node
 
 
+def check_schema(report: dict, label: str, engine_only: bool):
+    """(missing gated keys, warnings) for one report.
+
+    The gate refuses to run against a report that predates a gated
+    section -- silently skipping the key would wave regressions through.
+    Exception: under ``--engine-only`` a report with no ``sharded``
+    section at all (older bench_perf schema) only warns, and the sharded
+    gates are skipped.
+    """
+    gated = list(RATE_KEYS) + ([] if engine_only else list(WALL_KEYS))
+    missing = [k for k in gated if _dig(report, k) is None]
+    warnings = []
+    if engine_only and missing and _dig(report, "sharded") is None:
+        warnings.append(
+            f"{label} has no 'sharded' section (older bench_perf "
+            f"schema); skipping the sharded gates"
+        )
+        missing = [k for k in missing if not k.startswith("sharded.")]
+    return missing, warnings
+
+
 def compare(baseline: dict, fresh: dict, tolerance: float,
             engine_only: bool = False) -> list[str]:
     """Return a list of regression messages (empty = gate passes)."""
@@ -125,6 +146,23 @@ def main(argv=None) -> int:
             with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
                 bench_perf.main(["--quick", "--output", tmp.name])
                 fresh = json.loads(Path(tmp.name).read_text())
+
+    reports = [(baseline, f"baseline {baseline_path}")]
+    if args.fresh:
+        # A measured-now fresh report is complete by construction; only a
+        # pre-computed one can be missing gated sections.
+        reports.append((fresh, f"fresh report {args.fresh}"))
+    for report, label in reports:
+        missing, warnings = check_schema(report, label, args.engine_only)
+        for warning in warnings:
+            print(f"perf gate warning: {warning}")
+        if missing:
+            print(
+                f"perf gate: {label} is missing gated section(s) "
+                f"{', '.join(missing)} -- older bench_perf schema? "
+                f"regenerate with: PYTHONPATH=src python benchmarks/bench_perf.py"
+            )
+            return 2
 
     failures = compare(baseline, fresh, args.tolerance, args.engine_only)
     if failures:

@@ -1,0 +1,173 @@
+"""Hot-path reachability: which functions run per event, and why.
+
+BFS over the program call graph from the event-callback roots --
+``schedule_callback`` / ``schedule_callback_at`` / ``schedule_timer``
+targets and ``process`` generators (recorded with their scheduling
+kind by :class:`~repro.analysis.flow.callgraph.Program`), plus
+callables wired through the repo's sink registrars (``Link.connect``,
+``NetworkPort.set_rx_sink``), which are invoked *by* scheduled
+deliveries and are therefore just as hot.
+
+Per reached function the pass records the minimum call depth from a
+root, the first-discovered parent call site (the **blame chain**
+rendered under each finding: root -> ... -> offending function), and
+the union of scheduling kinds that can reach it -- the key the
+profile-guided ranker joins against the measured event mix.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.flow.callgraph import CallSite, Program, own_nodes
+
+#: methods whose callable arguments become event-delivery sinks.
+SINK_REGISTRARS = frozenset({"connect", "set_rx_sink"})
+
+#: scheduler methods (mirrors callgraph.SCHEDULERS + their kinds).
+_SCHEDULER_KINDS = {
+    "schedule_callback": "callback",
+    "schedule_callback_at": "callback",
+    "schedule_timer": "timer",
+}
+
+
+@dataclass
+class HotPath:
+    """Result of the reachability pass."""
+
+    roots: Set[str] = field(default_factory=set)
+    #: qualname -> minimum #call edges from a root (0 = is a root)
+    depth: Dict[str, int] = field(default_factory=dict)
+    #: qualname -> the call site that first reached it (absent for roots)
+    parent: Dict[str, CallSite] = field(default_factory=dict)
+    #: qualname -> scheduling kinds that reach it
+    #: ("callback" | "timer" | "process")
+    kinds: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def is_hot(self, qualname: str) -> bool:
+        return qualname in self.depth
+
+    def chain(self, program: Program, qualname: str) -> List[str]:
+        """The blame chain root -> ... -> ``qualname``, rendered as
+        witness steps (one per edge, plus the root registration)."""
+        edges: List[CallSite] = []
+        cur = qualname
+        seen = {cur}
+        while cur in self.parent:
+            site = self.parent[cur]
+            edges.append(site)
+            cur = site.caller
+            if cur in seen:  # defensive: cycles cannot appear in a BFS tree
+                break
+            seen.add(cur)
+        steps = [f"{cur} is an event-callback root ({'/'.join(sorted(self.kinds.get(cur, ()))) or 'callback'})"]
+        for site in reversed(edges):
+            caller_fn = program.functions.get(site.caller)
+            path = caller_fn.ctx.path if caller_fn is not None else "?"
+            verb = "schedules" if site.kind == "scheduled" else "calls"
+            steps.append(f"{site.caller} {verb} {site.callee} at {path}:{site.line}")
+        return steps
+
+
+def _registrar_roots(program: Program) -> Dict[str, Set[str]]:
+    """Callables passed to sink registrars, resolved where possible."""
+    found: Dict[str, Set[str]] = {}
+    for idx in program.indexes:
+        for fn in idx.functions.values():
+            for node in own_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                attr = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                if attr not in SINK_REGISTRARS:
+                    continue
+                candidates = list(node.args) + [
+                    kw.value for kw in node.keywords if kw.arg is not None
+                ]
+                for arg in candidates:
+                    target = idx.resolve_callback(arg, fn)
+                    if target is not None:
+                        found.setdefault(target.qualname, set()).add("callback")
+    return found
+
+
+def _aliased_scheduler_roots(program: Program) -> Dict[str, Set[str]]:
+    """Targets scheduled through a cached bound method -- the hot loops
+    here hoist ``schedule_at = self.sim.schedule_callback_at`` out of
+    the loop, which hides the call from the callgraph's scheduler
+    detection.  Resolve the alias (single assignment from a
+    ``.schedule_*`` attribute load) and record ``args[1]`` targets."""
+    found: Dict[str, Set[str]] = {}
+    for idx in program.indexes:
+        for fn in idx.functions.values():
+            aliases: Dict[str, str] = {}
+            for node in own_nodes(fn.node):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
+                    kind = _SCHEDULER_KINDS.get(node.value.attr)
+                    if kind is None:
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            aliases[target.id] = kind
+            if not aliases:
+                continue
+            for node in own_nodes(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in aliases
+                    and len(node.args) >= 2
+                ):
+                    target = idx.resolve_callback(node.args[1], fn)
+                    if target is not None:
+                        found.setdefault(target.qualname, set()).add(
+                            aliases[node.func.id]
+                        )
+    return found
+
+
+def compute(program: Program) -> HotPath:
+    hot = HotPath()
+    kind_seeds: Dict[str, Set[str]] = {
+        qual: set(kinds) for qual, kinds in program.root_kinds.items()
+    }
+    for qual in program.callback_roots:
+        kind_seeds.setdefault(qual, {"callback"})
+    for qual, kinds in _registrar_roots(program).items():
+        kind_seeds.setdefault(qual, set()).update(kinds)
+    for qual, kinds in _aliased_scheduler_roots(program).items():
+        kind_seeds.setdefault(qual, set()).update(kinds)
+    hot.roots = {q for q in kind_seeds if q in program.functions}
+
+    # BFS for minimum depth + first-parent blame tree (deterministic:
+    # roots in sorted order, edges in recorded order).
+    queue = deque(sorted(hot.roots))
+    for root in queue:
+        hot.depth[root] = 0
+    while queue:
+        cur = queue.popleft()
+        for site in program.edges_from.get(cur, ()):
+            if site.callee not in hot.depth:
+                hot.depth[site.callee] = hot.depth[cur] + 1
+                hot.parent[site.callee] = site
+                queue.append(site.callee)
+
+    # Kind propagation to fixpoint (a shared helper reached from both a
+    # timer and a callback root carries both kinds).
+    hot.kinds = {q: set(kind_seeds.get(q, ())) for q in hot.depth}
+    changed = True
+    while changed:
+        changed = False
+        for site in program.edges:
+            if site.caller in hot.kinds and site.callee in hot.kinds:
+                missing = hot.kinds[site.caller] - hot.kinds[site.callee]
+                if missing:
+                    hot.kinds[site.callee] |= missing
+                    changed = True
+    return hot

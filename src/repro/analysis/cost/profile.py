@@ -1,0 +1,91 @@
+"""The dynamic side of the ranker: the measured engine event mix.
+
+``BENCH_perf.json`` (committed at the repo root, refreshed by
+``benchmarks/bench_perf.py``) carries an ``obs.engine_profile``
+section: executed callback/event counts and wall seconds by entry
+kind.  A function reachable only from timer roots in a profile where
+timers never fire ranks below an equally expensive callback helper --
+that is the whole point of profile-guided ordering.
+
+When no report exists (fresh checkout, CI without artifacts) ranking
+falls back to the static score alone: ``factor = 1.0`` for every
+function, documented in DESIGN.md §10.  A missing profile is never an
+error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.bench.profile import load_engine_profile
+
+#: scheduling kind (callgraph) -> engine_profile wall/count bucket.
+#: A ``process`` target runs when the event it awaits fires, so it
+#: bills to the "event" bucket.
+KIND_TO_BUCKET = {"callback": "callback", "timer": "timer", "process": "event"}
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Parsed ``obs.engine_profile`` section."""
+
+    counts: Dict[str, float]  # bucket -> executed entries
+    wall_s: Dict[str, float]  # bucket -> wall seconds
+    source: str
+
+    @property
+    def shares(self) -> Dict[str, float]:
+        """bucket -> fraction of profiled time; wall-based when the
+        per-kind wall split is non-degenerate, count-based otherwise."""
+        total_wall = sum(self.wall_s.values())
+        if total_wall > 0:
+            return {k: v / total_wall for k, v in self.wall_s.items()}
+        total_count = sum(self.counts.values())
+        if total_count > 0:
+            return {k: v / total_count for k, v in self.counts.items()}
+        return {}
+
+    def factor(self, kinds: Iterable[str]) -> float:
+        """Event-mix multiplier for a function reachable under
+        ``kinds``: the summed profile share of its buckets.  Unknown or
+        empty kind sets get 1.0 (never silently zero out a function we
+        cannot attribute)."""
+        buckets = {KIND_TO_BUCKET.get(k) for k in kinds} - {None}
+        if not buckets:
+            return 1.0
+        shares = self.shares
+        if not shares:
+            return 1.0
+        return sum(shares.get(b, 0.0) for b in buckets)
+
+    def events_per_sec(self) -> Optional[float]:
+        total_wall = sum(self.wall_s.values())
+        total = sum(self.counts.values())
+        if total_wall > 0 and total > 0:
+            return total / total_wall
+        return None
+
+
+def from_section(section: Mapping, source: str) -> EngineProfile:
+    wall = dict(section.get("wall_s_by_kind", {}))
+    counts = {
+        "callback": float(section.get("executed_callbacks", 0)),
+        "event": float(section.get("executed_events", 0)),
+        "timer": float(section.get("executed_timers", 0)),
+    }
+    return EngineProfile(
+        counts=counts,
+        wall_s={k: float(v) for k, v in wall.items()},
+        source=source,
+    )
+
+
+def load(path: Optional[str] = None) -> Optional[EngineProfile]:
+    """The profile from ``path`` or the nearest ``BENCH_perf.json``;
+    ``None`` (static-only fallback) when absent or older-schema."""
+    loaded = load_engine_profile(path)
+    if loaded is None:
+        return None
+    section, source = loaded
+    return from_section(section, source)

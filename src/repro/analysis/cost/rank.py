@@ -1,0 +1,98 @@
+"""Roll-ups and the profile-guided ranking.
+
+``score(f)   = sum over classified sites of class_weight * 8**loop_depth``
+``factor(f)  = profile share of f's scheduling kinds (1.0 static-only)``
+``weighted(f)= score(f) * factor(f)``
+
+Functions are ordered by ``weighted`` descending -- the estimated
+events/s impact order the satellite-fix workflow consumes.  Module
+roll-ups sum their functions' weighted scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cost.model import CostItem
+from repro.analysis.cost.profile import EngineProfile
+from repro.analysis.flow.callgraph import FunctionInfo
+
+
+@dataclass
+class FunctionCost:
+    """Static cost roll-up of one hot-path function."""
+
+    fn: FunctionInfo
+    items: List[CostItem]
+    call_depth: int
+    kinds: Set[str] = field(default_factory=set)
+    chain: Tuple[str, ...] = ()
+    factor: float = 1.0
+
+    @property
+    def score(self) -> float:
+        return sum(item.weight for item in self.items)
+
+    @property
+    def weighted(self) -> float:
+        return self.score * self.factor
+
+    @property
+    def path(self) -> str:
+        return self.fn.ctx.path
+
+    @property
+    def line(self) -> int:
+        return getattr(self.fn.node, "lineno", 0)
+
+    def by_class(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for item in self.items:
+            out[item.cls] = out.get(item.cls, 0.0) + item.weight
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.fn.qualname,
+            "path": self.path,
+            "line": self.line,
+            "call_depth": self.call_depth,
+            "kinds": sorted(self.kinds),
+            "score": round(self.score, 3),
+            "factor": round(self.factor, 6),
+            "weighted": round(self.weighted, 3),
+            "by_class": {k: round(v, 3) for k, v in sorted(self.by_class().items())},
+            "chain": list(self.chain),
+            "sites": len(self.items),
+        }
+
+
+def rank(
+    costs: List[FunctionCost], profile: Optional[EngineProfile]
+) -> List[FunctionCost]:
+    """Apply the event-mix factor and sort by estimated impact."""
+    for cost in costs:
+        cost.factor = profile.factor(cost.kinds) if profile is not None else 1.0
+    costs.sort(key=lambda c: (-c.weighted, -c.score, c.fn.qualname))
+    return costs
+
+
+def module_rollup(costs: List[FunctionCost]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for cost in costs:
+        out[cost.fn.module] = out.get(cost.fn.module, 0.0) + cost.weighted
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+
+def render_ranking(costs: List[FunctionCost], top: int) -> str:
+    """The text-mode "hottest functions" table."""
+    lines = [f"simcost: top {min(top, len(costs))} hot-path functions by weighted score:"]
+    for cost in costs[:top]:
+        kinds = "/".join(sorted(cost.kinds)) or "?"
+        lines.append(
+            f"  {cost.weighted:10.1f}  {cost.fn.qualname}  "
+            f"({cost.path}:{cost.line}, score {cost.score:.1f} x factor "
+            f"{cost.factor:.3f}, depth {cost.call_depth}, {kinds})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Vectorization-candidate detection: the batch engine's work-list.
+
+A scheduled callback/timer body is *batchable* when executing N queued
+instances as one fused loop (or as array arithmetic over parallel
+attribute columns) cannot be observed: straight-line (branches allowed
+-- they mask; loops/try/with/nested defs do not), no allocation other
+than small key tuples, no string building, attribute traffic only on
+``__slots__`` instances (fixed offsets -> columns), no cross-shard
+stub reads (:func:`repro.analysis.flow.escape.is_stub_expr` -- a stub
+read makes order across shards observable), and every call either a
+known O(1) runtime/queue primitive (:data:`ALLOWED_CALLS`), a
+scheduler enqueue, or a stored-sink dispatch (``sink = self._sink;
+sink(cell)`` -- the delivery indirection every pipeline stage here
+ends with).
+
+These criteria are deliberately conservative: a rejected candidate is
+a missed optimisation, an accepted one must never change timelines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.cost.hotpath import HotPath
+from repro.analysis.cost.model import CostItem, excluded_ids
+from repro.analysis.flow.callgraph import FunctionInfo, Program, own_nodes
+from repro.analysis.flow.cfg import NON_RAISING
+from repro.analysis.flow.escape import is_stub_expr
+
+#: calls a batchable body may make: the never-raising cost-charging /
+#: observability primitives, C-level container ops, the queue fast
+#: paths (``try_put``/``try_get`` are append/pop on a slotted Store),
+#: and the scheduler enqueues themselves.
+ALLOWED_CALLS = frozenset(NON_RAISING) | frozenset(
+    {
+        "get",
+        "count",
+        "try_put",
+        "try_get",
+        "popleft",
+        "pop",
+        "add",
+        "discard",
+        "schedule_callback",
+        "schedule_callback_at",
+        "schedule_timer",
+    }
+)
+
+#: item classes that keep a body off the candidate list ("alloc" with
+#: a tuple-display detail is exempt: key tuples become parallel arrays).
+_DISQUALIFYING = frozenset(
+    {"alloc", "str-format", "kwargs-call", "gen-resume", "attr-dict"}
+)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One batchable callback body."""
+
+    qualname: str
+    path: str
+    line: int
+    kinds: Tuple[str, ...]
+    factor: float  # profile share of its kinds (ranking key)
+    note: str
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.qualname,
+            "path": self.path,
+            "line": self.line,
+            "kinds": list(self.kinds),
+            "factor": round(self.factor, 6),
+            "note": self.note,
+        }
+
+    def format(self) -> str:
+        kinds = "/".join(self.kinds) or "callback"
+        return f"  {self.qualname}  ({self.path}:{self.line}, {kinds}) -- {self.note}"
+
+
+def _stored_sink_names(fn: FunctionInfo) -> Set[str]:
+    """Locals single-assigned from a ``self.<attr>`` load: the stored
+    delivery callables a candidate body may dispatch through."""
+    assigns: dict = {}
+    for node in own_nodes(fn.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                assigns.setdefault(target.id, []).append(node.value)
+    return {
+        name
+        for name, values in assigns.items()
+        if len(values) == 1
+        and isinstance(values[0], ast.Attribute)
+        and isinstance(values[0].value, ast.Name)
+        and values[0].value.id == "self"
+    }
+
+
+def _call_allowed(node: ast.Call, fn: FunctionInfo, sinks: Set[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ALLOWED_CALLS
+    if isinstance(func, ast.Name):
+        return func.id in ALLOWED_CALLS or func.id in sinks
+    return False
+
+
+def _reject_reason(
+    fn: FunctionInfo, items: List[CostItem]
+) -> Optional[str]:
+    if fn.is_generator:
+        return "generator"
+    if fn.name == "<lambda>":
+        return "lambda"
+    sinks = _stored_sink_names(fn)
+    excluded = excluded_ids(fn.node)
+    for node in own_nodes(fn.node):
+        if id(node) in excluded:
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            return "loop"
+        if isinstance(node, (ast.Try, ast.With, ast.AsyncWith)):
+            return "try/with"
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return "nested def"
+        if is_stub_expr(node):
+            return "cross-shard stub read"
+        if isinstance(node, ast.Call) and not _call_allowed(node, fn, sinks):
+            return f"opaque call at line {node.lineno}"
+    for item in items:
+        if item.cls in _DISQUALIFYING:
+            if item.cls == "alloc" and item.detail == "tuple display":
+                continue
+            return f"{item.cls} at line {item.line} ({item.detail})"
+    return None
+
+
+def find_candidates(
+    program: Program,
+    hot: HotPath,
+    items_of: dict,
+    factor_of,
+) -> List[Candidate]:
+    """Scan the callback/timer roots; ``items_of`` maps qualname ->
+    classified :class:`CostItem` list, ``factor_of(kinds)`` the
+    profile multiplier used for ranking."""
+    candidates: List[Candidate] = []
+    for qual in sorted(hot.roots):
+        kinds = hot.kinds.get(qual, set())
+        if not kinds & {"callback", "timer"}:
+            continue  # process generators resume, they don't batch
+        fn = program.functions.get(qual)
+        if fn is None:
+            continue
+        reason = _reject_reason(fn, items_of.get(qual, []))
+        if reason is not None:
+            continue
+        n_attrs = sum(
+            1
+            for node in own_nodes(fn.node)
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load)
+        )
+        candidates.append(
+            Candidate(
+                qualname=qual,
+                path=fn.ctx.path,
+                line=getattr(fn.node, "lineno", 0),
+                kinds=tuple(sorted(kinds)),
+                factor=factor_of(kinds),
+                note=(
+                    f"straight-line over slotted state "
+                    f"({n_attrs} attribute load(s), no allocation, no escape)"
+                ),
+            )
+        )
+    candidates.sort(key=lambda c: (-c.factor, c.qualname))
+    return candidates

@@ -68,6 +68,29 @@ class CellTrain:
 class Link:
     """Unidirectional serialized link delivering cells to a sink callable."""
 
+    __slots__ = (
+        "sim",
+        "bandwidth_bps",
+        "propagation_us",
+        "name",
+        "tracer",
+        "loss_fn",
+        "_sink",
+        "_train_sink",
+        "capacity",
+        "fast_path",
+        "cells_sent",
+        "cells_dropped",
+        "bytes_sent",
+        "trains_sent",
+        "_busy_until",
+        "_starts",
+        "_cut",
+        "remote_peer",
+        "_k_txq_drop",
+        "_k_loss",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -109,6 +132,10 @@ class Link:
         # refuses attribute access (the far end is not coherent here).
         self._cut = None
         self.remote_peer = None
+        # Tracer keys are built once here: send()/_finish_cell() run per
+        # cell on the event hot path and must not re-format strings.
+        self._k_txq_drop = f"{name}.txq_drop"
+        self._k_loss = f"{name}.loss"
 
     # -- shard cut ------------------------------------------------------
     def cut_lookahead_us(self) -> float:
@@ -221,7 +248,7 @@ class Link:
             if _engine.access_hook is not None:
                 _engine.access_hook(id(self), f"link:{self.name}", "r")
             self.cells_dropped += 1
-            self.tracer.count(f"{self.name}.txq_drop")
+            self.tracer.count(self._k_txq_drop)
             return False
         self._schedule_cell(cell, self._claim(cell))
         return True
@@ -309,7 +336,7 @@ class Link:
         self.bytes_sent += cell.wire_bytes
         if self.loss_fn is not None and self.loss_fn(cell):
             self.cells_dropped += 1
-            self.tracer.count(f"{self.name}.loss")
+            self.tracer.count(self._k_loss)
             return
         if self._cut is not None:
             # Per-cell path across a cut: the emitting event is this

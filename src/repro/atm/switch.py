@@ -29,6 +29,20 @@ class SwitchRoute:
 class Switch:
     """An N-port VCI-translating cell switch."""
 
+    __slots__ = (
+        "sim",
+        "n_ports",
+        "switching_latency_us",
+        "name",
+        "tracer",
+        "_routes",
+        "output_links",
+        "cells_switched",
+        "cells_unrouted",
+        "remote_peers",
+        "_k_unrouted",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -66,6 +80,8 @@ class Switch:
         #: access (the ``cross-shard-state`` lint rule is the static
         #: counterpart of that runtime guard).
         self.remote_peers: Dict[int, object] = {}
+        # Built once: _receive() runs per cell on the event hot path.
+        self._k_unrouted = f"{name}.unrouted"
 
     # -- trunks (multi-switch fabrics) ----------------------------------
     def trunk_inlet(self, port: int):
@@ -139,7 +155,7 @@ class Switch:
         route = self._routes.get((port, cell.vci))
         if route is None:
             self.cells_unrouted += 1
-            self.tracer.count(f"{self.name}.unrouted")
+            self.tracer.count(self._k_unrouted)
             return
         _o = obs.active
         if _o is not None:

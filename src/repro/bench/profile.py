@@ -1,0 +1,55 @@
+"""Locate and parse the committed perf report for profile consumers.
+
+``benchmarks/bench_perf.py`` writes ``BENCH_perf.json`` at the repo
+root; the ``obs.engine_profile`` section (PR 5/6) records the dynamic
+event mix of the profiled run -- executed callback/event counts and
+per-kind wall time.  simcost joins its static costs against that mix,
+so the loader lives here in the bench layer next to the writer: if the
+report schema moves, both sides move together.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: file name bench_perf.py commits at the repo root.
+PERF_REPORT = "BENCH_perf.json"
+
+#: keys the engine_profile section must carry to be usable as a profile.
+ENGINE_PROFILE_KEYS = ("executed_callbacks", "executed_events", "wall_s_by_kind")
+
+
+def find_perf_report(start: Optional[str] = None) -> Optional[Path]:
+    """Walk up from ``start`` (default: cwd) looking for the report."""
+    here = Path(start) if start is not None else Path.cwd()
+    for directory in (here, *here.parents):
+        candidate = directory / PERF_REPORT
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_engine_profile(
+    path: Optional[str] = None,
+) -> Optional[Tuple[dict, str]]:
+    """The ``obs.engine_profile`` section of a perf report.
+
+    Returns ``(section, source_path)`` or ``None`` when no report can
+    be found, it fails to parse, or the section is missing/older-schema
+    (callers fall back to static-only ranking -- never an error).
+    """
+    report_path = Path(path) if path is not None else find_perf_report()
+    if report_path is None or not report_path.is_file():
+        return None
+    try:
+        report = json.loads(report_path.read_text())
+    except (OSError, ValueError):
+        return None
+    section = report.get("obs", {}).get("engine_profile")
+    if not isinstance(section, dict):
+        return None
+    if any(key not in section for key in ENGINE_PROFILE_KEYS):
+        return None  # older schema: predates the per-kind wall split
+    return section, str(report_path)

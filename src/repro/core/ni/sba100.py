@@ -28,6 +28,17 @@ from repro.sim import Tracer
 class Sba100UNet(NetworkInterface):
     """Kernel-trap U-Net over the PIO-only SBA-100."""
 
+    __slots__ = (
+        "costs",
+        "reassembler",
+        "send_errors",
+        "pdus_sent",
+        "pdus_received",
+        "_k_tx_badchannel",
+        "_k_rx_bad_pdu",
+        "_k_rx_unmatched",
+    )
+
     def __init__(
         self,
         host: Workstation,
@@ -45,6 +56,11 @@ class Sba100UNet(NetworkInterface):
         self.send_errors = 0
         self.pdus_sent = 0
         self.pdus_received = 0
+        # Per-packet counter keys, built once (the kernel loops run per
+        # cell/PDU and must not re-format strings).
+        self._k_tx_badchannel = f"{self.name}.tx_badchannel"
+        self._k_rx_bad_pdu = f"{self.name}.rx_bad_pdu"
+        self._k_rx_unmatched = f"{self.name}.rx_unmatched"
         self.sim.process(self._rx_kernel(), name=f"{self.name}.rx")
 
     def _per_cell_send_us(self) -> float:
@@ -72,7 +88,7 @@ class Sba100UNet(NetworkInterface):
             channel = endpoint.channels.get(desc.channel)
             if channel is None or not channel.open:
                 self.send_errors += 1
-                self.tracer.count(f"{self.name}.tx_badchannel")
+                self.tracer.count(self._k_tx_badchannel)
                 continue
             if desc.inline is not None:
                 payload = desc.inline
@@ -116,12 +132,12 @@ class Sba100UNet(NetworkInterface):
                 payload = self.reassembler.push(cell)
                 if payload is None:
                     if cell.last:
-                        self.tracer.count(f"{self.name}.rx_bad_pdu")
+                        self.tracer.count(self._k_rx_bad_pdu)
                     continue
                 yield from self.host.cpu.compute(costs.recv_trap_us)
                 channel = self.mux.demux(cell.vci)
                 if channel is None:
-                    self.tracer.count(f"{self.name}.rx_unmatched")
+                    self.tracer.count(self._k_rx_unmatched)
                     continue
                 if _sp is not None:
                     _o.annotate(_sp, bytes=len(payload))

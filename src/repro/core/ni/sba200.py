@@ -38,6 +38,19 @@ class Sba200UNet(NetworkInterface):
     #: Firmware identity recorded on obs spans (Fore overrides this).
     obs_firmware = "unet-sba200"
 
+    __slots__ = (
+        "costs",
+        "i960",
+        "single_cell_optimization",
+        "reassembler",
+        "send_errors",
+        "pdus_sent",
+        "pdus_received",
+        "_k_tx_badchannel",
+        "_k_rx_bad_pdu",
+        "_k_rx_unmatched",
+    )
+
     def __init__(
         self,
         host: Workstation,
@@ -58,6 +71,11 @@ class Sba200UNet(NetworkInterface):
         self.send_errors = 0
         self.pdus_sent = 0
         self.pdus_received = 0
+        # Per-packet counter keys, built once (the firmware loops run per
+        # cell/PDU and must not re-format strings).
+        self._k_tx_badchannel = f"{self.name}.tx_badchannel"
+        self._k_rx_bad_pdu = f"{self.name}.rx_bad_pdu"
+        self._k_rx_unmatched = f"{self.name}.rx_unmatched"
         self.sim.process(self._rx_firmware(), name=f"{self.name}.rx")
 
     # -- transmit ---------------------------------------------------------
@@ -86,7 +104,7 @@ class Sba200UNet(NetworkInterface):
             channel = endpoint.channels.get(desc.channel)
             if channel is None or not channel.open:
                 self.send_errors += 1
-                self.tracer.count(f"{self.name}.tx_badchannel")
+                self.tracer.count(self._k_tx_badchannel)
                 continue
             payload = self._gather(endpoint, desc)
             n_cells = cells_for_pdu(len(payload))
@@ -153,7 +171,7 @@ class Sba200UNet(NetworkInterface):
                 payload = self.reassembler.push(cell)
                 if payload is None:
                     if cell.last:
-                        self.tracer.count(f"{self.name}.rx_bad_pdu")
+                        self.tracer.count(self._k_rx_bad_pdu)
                     continue
                 single = (
                     self.single_cell_optimization
@@ -163,7 +181,7 @@ class Sba200UNet(NetworkInterface):
                 )
                 channel = self.mux.demux(cell.vci)
                 if channel is None:
-                    self.tracer.count(f"{self.name}.rx_unmatched")
+                    self.tracer.count(self._k_rx_unmatched)
                     continue
                 if _sp is not None:
                     _sp.name = "rx_single" if single else "rx_packet"

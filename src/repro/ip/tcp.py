@@ -89,6 +89,8 @@ class TcpConnection:
         self.src_port = src_port
         self.dst_port = dst_port
         self.name = name
+        # Built once: _timer_cb names the expiry process on the hot path.
+        self._tmr_name = f"{name}.tmr"
         self.state = "CLOSED"
         # send side
         self.iss = 1000
@@ -580,7 +582,7 @@ class TcpConnection:
         if fire_delack or fire_retx:
             self._timer_firing = True
             self.sim.process(
-                self._timer_fire(now, fire_delack), name=f"{self.name}.tmr"
+                self._timer_fire(now, fire_delack), name=self._tmr_name
             )
         else:
             # a deadline moved later since arming: lazy re-arm

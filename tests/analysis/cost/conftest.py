@@ -1,0 +1,13 @@
+"""Shared helpers for the simcost test suite."""
+
+from pathlib import Path
+
+from repro.analysis.flow.callgraph import Program
+
+from tests.analysis.flow.conftest import make_program  # noqa: F401  (re-export)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def fixture_program(*names) -> Program:
+    return Program.from_paths([str(FIXTURES / name) for name in names])

@@ -1,0 +1,93 @@
+"""One violation per simcost cost class -- simcost test fixture.
+
+Analyzed by path, never imported: every ``on_*`` callback is scheduled
+from :meth:`Node.start`, so each is an event-callback root and each
+body is a minimal witness for exactly one cost class.
+"""
+
+
+class Packet:
+    # Deliberately *not* slotted: attribute access on instances goes
+    # through the instance dict (the cost-attr-dict witness).
+    def __init__(self, seq):
+        self.seq = seq
+        self.acked = False
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+
+TUNING = {"window": 8}
+
+
+class Node:
+    __slots__ = ("sim", "name", "counter", "pending", "wired")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.name = "node"
+        self.counter = Counter()
+        self.pending = []
+        self.wired = False
+
+    def log(self, *args, **kwargs):
+        return 0
+
+    def start(self):
+        self.sim.schedule_callback(0.0, self.on_alloc_loop)
+        self.sim.schedule_callback(0.0, self.on_str_format)
+        self.sim.schedule_callback(0.0, self.on_attr_dict)
+        self.sim.schedule_callback(0.0, self.on_global_loop)
+        self.sim.schedule_callback(0.0, self.on_kwargs)
+        self.sim.schedule_timer(1.0, self.on_try_loop)
+        self.sim.schedule_callback(0.0, self.on_flat_alloc)
+        self.sim.schedule_callback(0.0, self.on_chain)
+        self.sim.process(self.pump())
+
+    def on_alloc_loop(self, cells):
+        for cell in cells:
+            self.pending.append(Packet(cell))  # cost-alloc, loop depth 1
+
+    def on_str_format(self, cell):
+        self.log(f"{self.name}.rx")  # cost-str-format
+
+    def on_attr_dict(self, pkt: Packet):
+        return pkt.seq  # cost-attr-dict (Packet has no __slots__)
+
+    def on_global_loop(self, cells):
+        total = 0
+        for cell in cells:
+            total += TUNING["window"]  # cost-global-loop
+        return total
+
+    def on_kwargs(self, extras):
+        return self.log(**extras)  # cost-kwargs-call
+
+    def on_try_loop(self, cells):
+        for cell in cells:
+            try:  # cost-try-loop
+                self.counter.value += cell
+            except ValueError:
+                pass
+
+    def on_flat_alloc(self):
+        self.pending = list()  # cost-alloc, loop depth 0 (flat tier)
+
+    def on_chain(self, cells):
+        # Clean itself; blames the helper it calls (interprocedural).
+        return self._expand(cells)
+
+    def _expand(self, cells):
+        out = []
+        for cell in cells:
+            out.append(Packet(cell))  # cost-alloc blamed via on_chain
+        return out
+
+    def pump(self):
+        while True:
+            cell = yield self.sim.timeout(1.0)  # cost-gen-resume
+            self.counter.value += 1

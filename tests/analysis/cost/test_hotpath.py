@@ -1,0 +1,72 @@
+"""Hot-path reachability: roots, kinds, and interprocedural blame."""
+
+from repro.analysis import cost
+from repro.analysis.cost import hotpath
+
+from tests.analysis.cost.conftest import fixture_program, make_program
+
+
+class TestRoots:
+    def test_scheduled_callbacks_are_roots(self):
+        program = fixture_program("cost_bad.py")
+        hot = hotpath.compute(program)
+        assert any(q.endswith(".on_alloc_loop") for q in hot.roots)
+        kinds = {
+            q.rsplit(".", 1)[-1]: sorted(ks) for q, ks in hot.kinds.items()
+        }
+        assert kinds["on_try_loop"] == ["timer"]
+        assert kinds["pump"] == ["process"]
+        assert kinds["on_str_format"] == ["callback"]
+
+    def test_helpers_inherit_depth_and_kind(self):
+        program = fixture_program("cost_bad.py")
+        hot = hotpath.compute(program)
+        expand = next(q for q in hot.depth if q.endswith("._expand"))
+        assert hot.depth[expand] == 1
+        assert hot.kinds[expand] == {"callback"}
+
+    def test_aliased_scheduler_counts_as_root(self):
+        # Switch._receive_train hoists schedule_at = sim.schedule_callback_at
+        # out of its loop; the target must still become a root.
+        program = make_program(
+            sw="""
+            class Switch:
+                def pump(self, items):
+                    schedule_at = self.sim.schedule_callback_at
+                    for t, item in items:
+                        schedule_at(t, self.on_item, item)
+
+                def on_item(self, item):
+                    return item
+            """
+        )
+        hot = hotpath.compute(program)
+        assert any(q.endswith(".on_item") for q in hot.roots)
+
+    def test_sink_registrar_argument_is_root(self):
+        program = make_program(
+            net="""
+            class Port:
+                def wire(self, link):
+                    link.connect(self.on_cell)
+
+                def on_cell(self, cell):
+                    return cell
+            """
+        )
+        hot = hotpath.compute(program)
+        assert any(q.endswith(".on_cell") for q in hot.roots)
+
+
+class TestBlameChain:
+    def test_finding_in_helper_blames_the_root(self):
+        report = cost.analyze_program(
+            fixture_program("cost_bad.py"),
+            checks=["alloc-loop"],
+            use_profile=False,
+        )
+        finding = next(f for f in report.findings if f.function.endswith("._expand"))
+        witness = "\n".join(finding.witness)
+        assert "on_chain is an event-callback root" in witness
+        assert "on_chain calls" in witness and "_expand at " in witness
+        assert "cost_bad.py:" in witness

@@ -1,0 +1,97 @@
+"""Unit tests for the static cost model: one fixture witness per class."""
+
+from repro.analysis import cost
+from repro.analysis.cost.model import LOOP_BASE, WEIGHTS
+
+from tests.analysis.cost.conftest import fixture_program
+
+
+def _report(checks):
+    return cost.analyze_program(
+        fixture_program("cost_bad.py"), checks=checks, use_profile=False
+    )
+
+
+def _findings_in(report, function_suffix):
+    return [f for f in report.findings if f.function.endswith(function_suffix)]
+
+
+class TestPerClassWitnesses:
+    def test_alloc_in_loop(self):
+        report = _report(["alloc-loop"])
+        found = _findings_in(report, ".on_alloc_loop")
+        assert len(found) == 1
+        assert found[0].rule == "cost-alloc"
+        assert "loop depth 1" in found[0].message
+
+    def test_flat_alloc_gates_only_under_alloc(self):
+        assert not _findings_in(_report(["alloc-loop"]), ".on_flat_alloc")
+        found = _findings_in(_report(["alloc"]), ".on_flat_alloc")
+        assert len(found) == 1
+        assert "loop depth 0" in found[0].message
+
+    def test_str_format(self):
+        found = _findings_in(_report(["str-format"]), ".on_str_format")
+        assert len(found) == 1
+        assert found[0].rule == "cost-str-format"
+
+    def test_attr_dict_on_unslotted_class(self):
+        found = _findings_in(_report(["attr-dict"]), ".on_attr_dict")
+        assert len(found) == 1
+        assert "Packet" in found[0].message
+
+    def test_attr_dict_spares_slotted_receivers(self):
+        # Node and Counter are slotted: self.counter.value everywhere
+        # else in the fixture must not produce attr-dict findings.  The
+        # only dict-backed receivers are Packet instances (the witness
+        # callback, plus Packet.__init__ reached through the ctor call).
+        report = _report(["attr-dict"])
+        for finding in report.findings:
+            assert ".Node.on_attr_dict" in finding.function or \
+                ".Packet.__init__" in finding.function, finding.function
+
+    def test_global_loop(self):
+        found = _findings_in(_report(["global-loop"]), ".on_global_loop")
+        assert len(found) == 1
+        assert "TUNING" in found[0].message
+
+    def test_kwargs_call(self):
+        found = _findings_in(_report(["kwargs-call"]), ".on_kwargs")
+        assert len(found) == 1
+
+    def test_try_loop(self):
+        found = _findings_in(_report(["try-loop"]), ".on_try_loop")
+        assert len(found) == 1
+
+    def test_gen_resume(self):
+        found = _findings_in(_report(["gen-resume"]), ".pump")
+        assert len(found) == 1
+
+    def test_yield_aware_loop_depth(self):
+        # pump's while-body yields once per awaited event, so its items
+        # must not carry the x8 loop multiplier.
+        report = _report(["gen-resume"])
+        item = _findings_in(report, ".pump")[0]
+        assert "loop depth 0" in item.message
+
+
+class TestWeights:
+    def test_loop_multiplier(self):
+        report = _report(["alloc-loop"])
+        (finding,) = _findings_in(report, ".on_alloc_loop")
+        # ctor allocation at loop depth 1: 12 * 8^1
+        assert f"static weight {12 * LOOP_BASE:g}" in finding.message
+
+    def test_score_sums_weighted_items(self):
+        report = _report(None)
+        by_name = {c.fn.qualname.rsplit(".", 1)[-1]: c for c in report.functions}
+        assert by_name["on_str_format"].score == WEIGHTS["str-format"]
+        assert by_name["on_alloc_loop"].score >= 12 * LOOP_BASE
+
+    def test_unknown_check_raises(self):
+        try:
+            _report(["bogus"])
+        except KeyError as exc:
+            assert "unknown cost check" in exc.args[0]
+        else:
+            raise AssertionError("expected KeyError")

@@ -1,0 +1,82 @@
+"""Profile-guided weighting and the static-only fallback."""
+
+from repro.analysis import cost
+from repro.analysis.cost.profile import EngineProfile, from_section, load
+
+from tests.analysis.cost.conftest import fixture_program
+
+#: synthetic obs.engine_profile: callbacks dominate the wall, timers
+#: never fire, processes get a sliver.
+SECTION = {
+    "executed_callbacks": 900,
+    "executed_events": 100,
+    "wall_s_by_kind": {"callback": 0.9, "event": 0.1, "timer": 0.0},
+}
+
+
+def synthetic():
+    return from_section(SECTION, "synthetic")
+
+
+class TestEngineProfile:
+    def test_shares_are_wall_based(self):
+        assert synthetic().shares == {"callback": 0.9, "event": 0.1, "timer": 0.0}
+
+    def test_count_fallback_when_wall_degenerate(self):
+        profile = from_section(
+            {"executed_callbacks": 3, "executed_events": 1, "wall_s_by_kind": {}},
+            "synthetic",
+        )
+        assert profile.shares["callback"] == 0.75
+
+    def test_factor_sums_kind_buckets(self):
+        profile = synthetic()
+        assert profile.factor({"callback"}) == 0.9
+        assert profile.factor({"process"}) == 0.1  # process bills to "event"
+        assert profile.factor({"callback", "process"}) == 1.0
+        assert profile.factor({"timer"}) == 0.0
+
+    def test_unknown_or_empty_kinds_never_zero_out(self):
+        profile = synthetic()
+        assert profile.factor(set()) == 1.0
+        assert profile.factor({"martian"}) == 1.0
+
+
+class TestRankingJoin:
+    def test_profile_reorders_timer_vs_callback(self):
+        # on_try_loop (timer-only) and on_alloc_loop (callback) both
+        # carry a x8 loop item; with timers at zero wall share the
+        # callback must outrank the timer root.
+        report = cost.analyze_program(
+            fixture_program("cost_bad.py"), profile=synthetic()
+        )
+        order = [c.fn.qualname.rsplit(".", 1)[-1] for c in report.functions]
+        assert order.index("on_alloc_loop") < order.index("on_try_loop")
+        by_name = {c.fn.qualname.rsplit(".", 1)[-1]: c for c in report.functions}
+        assert by_name["on_try_loop"].weighted == 0.0
+        assert by_name["on_try_loop"].factor == 0.0
+        assert by_name["on_alloc_loop"].factor == 0.9
+
+    def test_static_fallback_uses_factor_one(self):
+        report = cost.analyze_program(
+            fixture_program("cost_bad.py"), use_profile=False
+        )
+        assert report.profile is None
+        assert report.profile_source is None
+        assert all(c.factor == 1.0 for c in report.functions)
+        assert all(c.weighted == c.score for c in report.functions)
+
+
+class TestLoader:
+    def test_missing_report_is_none(self, tmp_path):
+        assert load(str(tmp_path / "nope.json")) is None
+
+    def test_older_schema_is_none(self, tmp_path):
+        report = tmp_path / "BENCH_perf.json"
+        report.write_text('{"obs": {"engine_profile": {"executed_callbacks": 5}}}')
+        assert load(str(report)) is None
+
+    def test_repo_baseline_parses(self):
+        profile = load("BENCH_perf.json")
+        assert isinstance(profile, EngineProfile)
+        assert sum(profile.shares.values()) > 0.99

@@ -1,0 +1,84 @@
+"""The vectorization-candidate detector: accepts, rejections, output."""
+
+from repro.analysis import cost
+
+from tests.analysis.cost.conftest import fixture_program, make_program
+
+
+def candidates_of(program):
+    return [
+        c.qualname.rsplit(".", 1)[-1]
+        for c in cost.analyze_program(program, use_profile=False).candidates
+    ]
+
+
+class TestCandidates:
+    def test_clean_fixture_is_a_candidate(self):
+        report = cost.analyze_program(
+            fixture_program("cost_clean.py"), use_profile=False
+        )
+        assert [c.qualname.rsplit(".", 1)[-1] for c in report.candidates] == [
+            "on_deliver"
+        ]
+        candidate = report.candidates[0]
+        assert candidate.path.endswith("cost_clean.py")
+        assert "no allocation" in candidate.note
+        assert "callback" in candidate.kinds
+
+    def test_bad_fixture_produces_none(self):
+        # Every root in cost_bad carries a disqualifier (loop, alloc,
+        # f-string, kwargs, try, generator, or unslotted attr access).
+        assert candidates_of(fixture_program("cost_bad.py")) == []
+
+    def test_loop_disqualifies(self):
+        program = make_program(
+            mod="""
+            class Node:
+                __slots__ = ("sim", "n")
+                def start(self):
+                    self.sim.schedule_callback(0.0, self.on_cells)
+                def on_cells(self, cells):
+                    for cell in cells:
+                        self.n += 1
+            """
+        )
+        assert candidates_of(program) == []
+
+    def test_opaque_call_disqualifies(self):
+        program = make_program(
+            mod="""
+            class Node:
+                __slots__ = ("sim", "peer")
+                def start(self):
+                    self.sim.schedule_callback(0.0, self.on_cell)
+                def on_cell(self, cell):
+                    self.peer.forward(cell)
+            """
+        )
+        assert candidates_of(program) == []
+
+    def test_stored_sink_dispatch_is_allowed(self):
+        program = make_program(
+            mod="""
+            class Node:
+                __slots__ = ("sim", "_sink", "count")
+                def start(self):
+                    self.sim.schedule_callback(0.0, self.on_cell)
+                def on_cell(self, cell):
+                    self.count += 1
+                    sink = self._sink
+                    sink(cell)
+            """
+        )
+        assert candidates_of(program) == ["on_cell"]
+
+    def test_real_tree_has_engine_link_ni_candidates(self):
+        # The PR's acceptance bar: after the hot-path fixes, the batch
+        # work-list covers the link/switch/NI delivery callbacks.
+        report = cost.analyze_paths(["src"], use_profile=False)
+        names = {c.qualname for c in report.candidates}
+        assert "repro.atm.link.Link._deliver_cell" in names
+        assert "repro.atm.link.Link._deliver_train" in names
+        assert "repro.atm.switch.Switch._receive" in names
+        assert "repro.core.ni.base.NetworkInterface._rx_sink" in names
+        assert len(names) >= 3
