@@ -274,6 +274,31 @@ def obs_profile(n: int = 30, repeats: int = 5) -> dict:
     }
 
 
+def rtt_percentiles(n: int = 200) -> dict:
+    """fig3 RTT tail latencies from the metrics histogram.
+
+    Simulated time, so the numbers are deterministic and machine
+    independent -- they gate the *model*, not the host: a change that
+    shifts p99/p999 moved the simulated protocol stack, not the
+    benchmark harness.  The log-bucketed histogram keys are exact to
+    <0.8% relative error (see repro.obs.metrics.SUBBUCKETS).
+    """
+    from repro import obs
+    from repro.bench import micro
+
+    with obs.collecting() as col:
+        micro.raw_rtt(32, n=n)
+    summary = col.metrics.histogram("rtt_us").summary()
+    return {
+        "fig3_rtt_us": {
+            "count": summary["count"],
+            "p50": round(summary["p50"], 3),
+            "p99": round(summary["p99"], 3),
+            "p999": round(summary["p999"], 3),
+        },
+    }
+
+
 def sharded_throughput(repeats: int = 3) -> dict:
     """The 64-host ring/incast scenario across execution modes.
 
@@ -408,6 +433,7 @@ def main(argv=None) -> int:
         "engine": engine_events_per_sec(repeats=repeats),
         "scheduler": scheduler_stats(),
         "obs": obs_profile(repeats=repeats),
+        "percentiles": rtt_percentiles(),
         "sharded": sharded_throughput(repeats=1 if args.quick else 3),
         "figures": {},
     }
@@ -427,6 +453,9 @@ def main(argv=None) -> int:
           f"timer pool hit rate {sched['timer_pool_hit_rate']}")
     print(f"obs: spans-on overhead {report['obs']['overhead_factor_on']}x "
           f"on fig3 ({report['obs']['engine_profile'].get('spans', 0)} spans)")
+    pct = report["percentiles"]["fig3_rtt_us"]
+    print(f"rtt tails [fig3, n={pct['count']}]: p50 {pct['p50']}us, "
+          f"p99 {pct['p99']}us, p999 {pct['p999']}us")
     sh = report["sharded"]
     mode_line = ", ".join(
         f"{name} {m['speedup_vs_local']}x" for name, m in sh["modes"].items()

@@ -39,6 +39,7 @@ from repro.am.wire import (
     Message,
 )
 from repro import obs
+from repro.obs import metrics as _metrics
 from repro.core import SendDescriptor, UNetSession
 from repro.core.errors import UNetError
 from repro.sim import AnyOf
@@ -117,6 +118,9 @@ class UAM:
         self.replies_sent = 0
         self.xfer_bytes_in = 0
         self.memory_range_errors = 0
+        # Per-endpoint metric keys, precomputed off the hot path.
+        self._mk_tx = f"am.{self.host.name}.tx"
+        self._mk_rx = f"am.{self.host.name}.rx"
 
     # -- set-up ----------------------------------------------------------------
     def register_handler(self, index: int, fn: Callable) -> None:
@@ -309,6 +313,9 @@ class UAM:
             if _o is not None
             else None
         )
+        _m = _metrics.active
+        if _m is not None:
+            _m.count(self._mk_tx)
         yield from self.host.compute(self.cfg.send_overhead_us)
         if len(raw) <= 40:
             desc = SendDescriptor(channel=peer.channel_id, inline=raw)
@@ -384,6 +391,9 @@ class UAM:
             if _o is not None
             else None
         )
+        _m = _metrics.active
+        if _m is not None:
+            _m.count(self._mk_rx)
         try:
             yield from self.host.compute(self.cfg.dispatch_overhead_us)
             if msg.type in (MSG_REQUEST, MSG_REPLY):

@@ -72,6 +72,7 @@ from repro.analysis.rules import (  # noqa: E402,F401
     schedule_shared_state,
     silent_except,
     slots_hot_path,
+    unguarded_obs_call,
     unordered_iter,
     unseeded_random,
     wall_clock,

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro import obs
 from repro.atm.cell import Cell
+from repro.obs import metrics as _metrics
 from repro.sim import Event, Simulator, Tracer
 from repro.sim import engine as _engine
 from repro.sim.shard.errors import ShardError
@@ -89,6 +90,9 @@ class Link:
         "remote_peer",
         "_k_txq_drop",
         "_k_loss",
+        "_mk_txq",
+        "_mk_busy",
+        "_mk_drop",
     )
 
     def __init__(
@@ -136,6 +140,11 @@ class Link:
         # cell on the event hot path and must not re-format strings.
         self._k_txq_drop = f"{name}.txq_drop"
         self._k_loss = f"{name}.loss"
+        # Metric keys likewise: the guarded metric calls in _claim()/
+        # send() must not pay per-cell string formatting.
+        self._mk_txq = f"link.{name}.txq_depth"
+        self._mk_busy = f"link.{name}.busy_us"
+        self._mk_drop = f"link.{name}.drops"
 
     # -- shard cut ------------------------------------------------------
     def cut_lookahead_us(self) -> float:
@@ -219,6 +228,12 @@ class Link:
             _o.add_complete(
                 start, finish + self.propagation_us, "cell", "wire", host=self.name
             )
+        _m = _metrics.active
+        if _m is not None:
+            # busy_us accumulates serialization time; dividing by the
+            # span of the run gives link utilization in the report.
+            _m.observe(self._mk_txq, len(self._starts))
+            _m.count(self._mk_busy, finish - start)
         return finish
 
     def _schedule_cell(self, cell: Cell, finish: float) -> None:
@@ -249,6 +264,9 @@ class Link:
                 _engine.access_hook(id(self), f"link:{self.name}", "r")
             self.cells_dropped += 1
             self.tracer.count(self._k_txq_drop)
+            _m = _metrics.active
+            if _m is not None:
+                _m.count(self._mk_drop)
             return False
         self._schedule_cell(cell, self._claim(cell))
         return True
@@ -337,6 +355,9 @@ class Link:
         if self.loss_fn is not None and self.loss_fn(cell):
             self.cells_dropped += 1
             self.tracer.count(self._k_loss)
+            _m = _metrics.active
+            if _m is not None:
+                _m.count(self._mk_drop)
             return
         if self._cut is not None:
             # Per-cell path across a cut: the emitting event is this

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 from repro import obs
 from repro.atm.cell import Cell
 from repro.atm.link import TAXI_140_BPS, CellTrain, Link
+from repro.obs import metrics as _metrics
 from repro.sim import Simulator, Tracer
 from repro.sim import engine as _engine
 
@@ -41,6 +42,8 @@ class Switch:
         "cells_unrouted",
         "remote_peers",
         "_k_unrouted",
+        "_mk_unrouted",
+        "_mk_buf",
     )
 
     def __init__(
@@ -82,6 +85,8 @@ class Switch:
         self.remote_peers: Dict[int, object] = {}
         # Built once: _receive() runs per cell on the event hot path.
         self._k_unrouted = f"{name}.unrouted"
+        self._mk_unrouted = f"switch.{name}.unrouted"
+        self._mk_buf = f"switch.{name}.buffer_high_water"
 
     # -- trunks (multi-switch fabrics) ----------------------------------
     def trunk_inlet(self, port: int):
@@ -156,6 +161,9 @@ class Switch:
         if route is None:
             self.cells_unrouted += 1
             self.tracer.count(self._k_unrouted)
+            _m = _metrics.active
+            if _m is not None:
+                _m.count(self._mk_unrouted)
             return
         _o = obs.active
         if _o is not None:
@@ -179,7 +187,13 @@ class Switch:
 
     def _forward(self, route: SwitchRoute, cell: Cell) -> None:
         self.cells_switched += 1
-        self.output_links[route.out_port].send(cell.with_vci(route.out_vci))
+        link = self.output_links[route.out_port]
+        link.send(cell.with_vci(route.out_vci))
+        _m = _metrics.active
+        if _m is not None:
+            # Output contention lives in the per-port link queues; the
+            # switch-level high-water gauge is the max across all ports.
+            _m.gauge_max(self._mk_buf, len(link._starts))
 
     def _check_port(self, port: int) -> None:
         if not 0 <= port < self.n_ports:

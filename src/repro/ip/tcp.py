@@ -20,6 +20,7 @@ from typing import Deque, List, Optional
 from collections import deque
 
 from repro import obs
+from repro.obs import metrics as _metrics
 from repro.ip.headers import (
     FLAG_ACK,
     FLAG_FIN,
@@ -254,6 +255,9 @@ class TcpConnection:
                     self.cwnd = self.cfg.mss
                     self.fast_retransmits += 1
                     self.retransmits += 1
+                    _m = _metrics.active
+                    if _m is not None:
+                        _m.count("tcp.retransmits")
                     payload = bytes(self._retx[: self.cfg.mss])
                     yield from self._emit(FLAG_ACK, seq=self.snd_una, payload=payload)
                     self._retx_deadline = self.sim.now + self._rto()
@@ -352,6 +356,9 @@ class TcpConnection:
                 if self._delack_deadline is None:
                     self._delack_deadline = self.sim.now + self.cfg.delayed_ack_us
                     self._wake_timer()
+                _m = _metrics.active
+                if _m is not None:
+                    _m.count("tcp.delayed_acks")
                 return
         self.acks_sent += 1
         yield from self._emit(FLAG_ACK, seq=self.snd_nxt)
@@ -624,16 +631,21 @@ class TcpConnection:
         self.cwnd = self.cfg.mss
         # go-back-N: retransmit the first outstanding segment
         _o = obs.active
+        _m = _metrics.active
         if len(self._retx):
             payload = bytes(self._retx[: self.cfg.mss])
             self.retransmits += 1
             if _o is not None:
                 _o.bump("tcp.retransmits")
+            if _m is not None:
+                _m.count("tcp.retransmits")
             yield from self._emit(FLAG_ACK, seq=self.snd_una, payload=payload)
         elif self._fin_sent:
             self.retransmits += 1
             if _o is not None:
                 _o.bump("tcp.retransmits")
+            if _m is not None:
+                _m.count("tcp.retransmits")
             yield from self._emit(FLAG_FIN | FLAG_ACK, seq=self.snd_nxt - 1)
         self._retx_deadline = self.sim.now + self._rto()
         self._wake_timer()

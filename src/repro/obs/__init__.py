@@ -33,12 +33,24 @@ import os
 from contextlib import contextmanager
 from typing import Optional
 
-from repro.obs.spans import ObsMonitor, Span, SpanCollector
+from repro.obs import metrics
+from repro.obs.flight import FlightRecorder, ring_limit_from_env
+from repro.obs.spans import (
+    ObsMonitor,
+    PartialTraceError,
+    Span,
+    SpanCollector,
+    SpanMerger,
+)
 
 __all__ = [
     "Span",
     "SpanCollector",
+    "SpanMerger",
     "ObsMonitor",
+    "PartialTraceError",
+    "FlightRecorder",
+    "metrics",
     "active",
     "enabled",
     "enable",
@@ -56,8 +68,22 @@ def enabled() -> bool:
     return active is not None
 
 
-def enable(profile_wall: bool = False) -> SpanCollector:
-    """Arm span collection globally.
+def _attach_flight(collector: SpanCollector, flight) -> None:
+    """Attach a flight recorder per the ``flight`` argument: ``None``
+    consults ``REPRO_OBS_FLIGHT``, ``True`` uses the default capacity,
+    an int sets the capacity, ``False`` forces off."""
+    if flight is None:
+        limit = ring_limit_from_env()
+        if limit is not None:
+            collector.flight = FlightRecorder(limit)
+    elif flight is True:
+        collector.flight = FlightRecorder()
+    elif flight:
+        collector.flight = FlightRecorder(int(flight))
+
+
+def enable(profile_wall: bool = False, flight=None) -> SpanCollector:
+    """Arm span collection (and the metrics registry) globally.
 
     Must run before the Simulator under observation is constructed (the
     engine picks its monitored subclass at construction time).  Raises
@@ -75,8 +101,13 @@ def enable(profile_wall: bool = False) -> SpanCollector:
             "span tracing and race detection are mutually exclusive"
         )
     collector = SpanCollector()
+    _attach_flight(collector, flight)
     monitor = ObsMonitor(collector, profile_wall=profile_wall)
-    _engine.set_instrumentation(lambda: monitor, _engine.access_hook)
+    _engine.set_instrumentation(
+        lambda: monitor, _engine.access_hook, shard_aware=True
+    )
+    metrics.enable()
+    collector.metrics = metrics.active
     active = collector
     return collector
 
@@ -89,11 +120,12 @@ def disable() -> None:
     from repro.sim import engine as _engine
 
     _engine.set_instrumentation(None, _engine.access_hook)
+    metrics.disable()
     active = None
 
 
 @contextmanager
-def collecting(profile_wall: bool = False):
+def collecting(profile_wall: bool = False, flight=None):
     """Scoped span collection::
 
         with obs.collecting() as col:
@@ -101,8 +133,9 @@ def collecting(profile_wall: bool = False):
             ... run the scenario ...
         report = attrib.attribute(col.spans, t0, t1)
 
-    Saves and restores whatever instrumentation (and collector) was
-    active before, so scopes nest safely with the race detector's
+    Also arms a scoped metrics registry (``obs.metrics.active``).  Saves
+    and restores whatever instrumentation (and collector) was active
+    before, so scopes nest safely with the race detector's
     ``detected()`` as long as they do not overlap.
     """
     global active
@@ -110,16 +143,23 @@ def collecting(profile_wall: bool = False):
 
     prev_factory = _engine._monitor_factory
     prev_access = _engine.access_hook
+    prev_shard_aware = _engine._monitor_shard_aware
     prev_active = active
+    prev_metrics = metrics.active
     collector = SpanCollector()
+    _attach_flight(collector, flight)
     monitor = ObsMonitor(collector, profile_wall=profile_wall)
-    _engine.set_instrumentation(lambda: monitor, prev_access)
+    _engine.set_instrumentation(lambda: monitor, prev_access, shard_aware=True)
+    metrics.active = collector.metrics = metrics.MetricsRegistry()
     active = collector
     try:
         yield collector
     finally:
         active = prev_active
-        _engine.set_instrumentation(prev_factory, prev_access)
+        metrics.active = prev_metrics
+        _engine.set_instrumentation(
+            prev_factory, prev_access, shard_aware=prev_shard_aware
+        )
 
 
 _env_flag = os.environ.get("REPRO_OBS", "")

@@ -2,8 +2,9 @@
 
 Subcommands::
 
-    report fig3 [--size N] [--n N] [--ni KIND] [--json PATH] [--profile-wall]
-    export fig3 [--size N] [--n N] [--ni KIND] [-o trace.json]
+    report fig3 [--size N] [--n N] [--ni KIND] [--shards N] [--json PATH]
+                [--profile-wall] [--percentiles]
+    export fig3 [--size N] [--n N] [--ni KIND] [--shards N] [-o trace.json]
     diff OLD.json NEW.json
 
 ``report`` exits 1 when the attribution-sum invariant fails and 2 when
@@ -29,10 +30,17 @@ def _add_scenario_args(sub: argparse.ArgumentParser) -> None:
         "--ni", default="sba200", choices=["sba200", "sba100", "fore"]
     )
     sub.add_argument("--mhz", type=float, default=60.0)
+    sub.add_argument(
+        "--shards", type=int, default=1,
+        help="run on the sharded engine (attribution must match 1-shard)",
+    )
 
 
 def _scenario_kwargs(args) -> dict:
-    return dict(size=args.size, n=args.n, ni_kind=args.ni, mhz=args.mhz)
+    return dict(
+        size=args.size, n=args.n, ni_kind=args.ni, mhz=args.mhz,
+        shards=args.shards,
+    )
 
 
 def cmd_report(args) -> int:
@@ -45,7 +53,7 @@ def cmd_report(args) -> int:
         # the check_sum() invariant raises ValueError
         print(f"attribution invariant FAILED: {exc}", file=sys.stderr)
         return 1
-    print(report.format_report(doc))
+    print(report.format_report(doc, percentiles=args.percentiles))
     path = (
         Path(args.json)
         if args.json
@@ -114,6 +122,10 @@ def main(argv=None) -> int:
         "--json", default=None, help="attribution JSON output path"
     )
     p_report.add_argument("--profile-wall", action="store_true")
+    p_report.add_argument(
+        "--percentiles", action="store_true",
+        help="print p50/p99/p999 RTT and per-layer tail attribution",
+    )
     p_report.set_defaults(fn=cmd_report)
 
     p_export = subs.add_parser(

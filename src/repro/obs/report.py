@@ -29,18 +29,24 @@ def run_fig3(
     ni_kind: str = "sba200",
     mhz: float = 60.0,
     profile_wall: bool = False,
+    shards: int = 1,
 ):
     """Figure 3 raw round trip with spans.
+
+    ``shards`` > 1 runs the same scenario on the sharded engine (the
+    timestamps are bit-identical, so per-layer attribution must match
+    the single-core run exactly -- the CI parity gate).
 
     Returns ``(report_dict, collector)`` -- the collector so the export
     path can render the same run as a timeline.
     """
     from repro.bench import micro
     from repro.core import UNetCluster
-    from repro.sim import Simulator
+    from repro.sim import Simulator, engine
 
     with obs.collecting(profile_wall=profile_wall) as collector:
-        result = micro.raw_rtt(size, n=n, ni_kind=ni_kind, mhz=mhz)
+        with engine.use_shards(shards):
+            result = micro.raw_rtt(size, n=n, ni_kind=ni_kind, mhz=mhz)
 
     budget = None
     if ni_kind == "sba200":
@@ -62,11 +68,28 @@ def run_fig3(
             "n": n,
             "ni": ni_kind,
             "mhz": mhz,
+            "shards": shards,
         },
         measured={"rtt_mean_us": result.mean_us, "rtt_min_us": result.min_us},
         budget=budget,
+        rtt_samples=result.samples,
     )
     return report, collector
+
+
+def _percentile_summary(samples) -> Dict[str, float]:
+    """p50/p99/p999 of a sample list via :meth:`StatSeries.percentile`
+    (exact nearest-rank on the recorded floats, not bucket midpoints)."""
+    from repro.sim import StatSeries
+
+    series = StatSeries()
+    for value in samples:
+        series.add(value)
+    return {
+        "p50": series.percentile(50.0),
+        "p99": series.percentile(99.0),
+        "p999": series.percentile(99.9),
+    }
 
 
 def _build_report(
@@ -74,6 +97,7 @@ def _build_report(
     scenario: Dict[str, object],
     measured: Dict[str, float],
     budget: Optional[Dict[str, float]],
+    rtt_samples=None,
 ) -> Dict[str, object]:
     per_trip = attrib.attribute_roundtrips(collector.spans)
     if not per_trip:
@@ -84,6 +108,18 @@ def _build_report(
     for att in per_trip:
         att.check_sum()  # the CI-gated invariant
     mean = attrib.merge_mean(per_trip)
+
+    # Tail attribution: the per-roundtrip per-layer contributions give
+    # each layer's queueing-delay distribution across trips.
+    percentiles: Dict[str, object] = {}
+    if rtt_samples:
+        percentiles["rtt_us"] = _percentile_summary(rtt_samples)
+    layer_tails: Dict[str, Dict[str, float]] = {}
+    for layer in sorted(mean.layers):
+        layer_tails[layer] = _percentile_summary(
+            [att.layers.get(layer, 0.0) for att in per_trip]
+        )
+    percentiles["layers_us"] = layer_tails
 
     report: Dict[str, object] = {
         "scenario": scenario,
@@ -101,9 +137,15 @@ def _build_report(
             "sum_equals_window": True,
             "rel_tol": attrib.SUM_REL_TOL,
         },
+        "percentiles": percentiles,
         "counters": collector.snapshot(),
+        "tracer_records_dropped": int(
+            collector.counters.get("tracer.records_dropped", 0)
+        ),
         "engine_profile": collector.engine_profile(),
     }
+    if collector.metrics is not None:
+        report["metrics"] = collector.metrics.snapshot()
     if budget is not None:
         comparison = budgets.compare(mean.layers, budget)
         report["budget"] = {
@@ -138,8 +180,14 @@ def write_report(report: Dict[str, object], path: Path) -> None:
     path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
 
 
-def format_report(report: Dict[str, object]) -> str:
-    """Human-readable per-layer table for the CLI."""
+def format_report(
+    report: Dict[str, object], percentiles: bool = False
+) -> str:
+    """Human-readable per-layer table for the CLI.
+
+    ``percentiles`` appends the tail-latency section (p50/p99/p999 RTT
+    plus each layer's queueing-delay tail across round trips).
+    """
     lines = []
     scenario = report["scenario"]
     att = report["attribution"]
@@ -183,5 +231,28 @@ def format_report(report: Dict[str, object]) -> str:
             f"  budget check: {verdict} {budget['rel_tol']:.0%} of "
             f"{budget['budget_total_us']:.2f} us "
             f"(tolerance {budget['tolerance_us']:.2f} us/layer)"
+        )
+    if percentiles:
+        pct = report.get("percentiles", {})
+        rtt = pct.get("rtt_us")
+        if rtt:
+            lines.append(
+                f"  RTT tails: p50 {rtt['p50']:.3f} us, "
+                f"p99 {rtt['p99']:.3f} us, p999 {rtt['p999']:.3f} us"
+            )
+        tails = pct.get("layers_us", {})
+        if tails:
+            lines.append(f"  {'layer tail':<14}{'p50':>10}{'p99':>10}{'p999':>10}")
+            for layer in sorted(tails, key=lambda k: -tails[k]["p99"]):
+                t = tails[layer]
+                lines.append(
+                    f"  {layer:<14}{t['p50']:>10.3f}{t['p99']:>10.3f}"
+                    f"{t['p999']:>10.3f}"
+                )
+    dropped = report.get("tracer_records_dropped", 0)
+    if dropped:
+        lines.append(
+            f"  WARNING: tracer dropped {dropped} record(s) -- counter "
+            f"attribution is undercounting (raise the tracer ring limit)"
         )
     return "\n".join(lines)

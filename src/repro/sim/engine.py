@@ -69,18 +69,28 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 #: = None`` and the hot run loop is entirely untouched.
 _monitor_factory: Optional[Callable[[], Any]] = None
 access_hook: Optional[Callable[[int, str, str], None]] = None
+#: True when the installed monitor can follow the in-process sharded
+#: engine's multiple timelines (it exposes ``shard_view(k)`` — the obs
+#: span monitor does; the race detector's shadow scheduler does not, so
+#: race-monitored runs keep collapsing to one single-heap timeline).
+_monitor_shard_aware: bool = False
 
 
 def set_instrumentation(
     monitor_factory: Optional[Callable[[], Any]],
     access: Optional[Callable[[int, str, str], None]] = None,
+    shard_aware: bool = False,
 ) -> None:
     """Install (or clear, with ``None``) the schedule-order monitor
     factory and the state-access hook.  Only simulators constructed
-    while a factory is installed are monitored."""
-    global _monitor_factory, access_hook
+    while a factory is installed are monitored.  ``shard_aware``
+    declares that the monitor supports per-shard views, letting
+    ``REPRO_SIM_SHARDS > 1`` keep the sharded engine instead of
+    collapsing to the single monitored timeline."""
+    global _monitor_factory, access_hook, _monitor_shard_aware
     _monitor_factory = monitor_factory
     access_hook = access
+    _monitor_shard_aware = shard_aware if monitor_factory is not None else False
 
 
 #: Available scheduler cores.  ``calendar`` is the v2 default; ``heap``
@@ -1091,10 +1101,14 @@ class Simulator:
         # ``_mon`` check: REPRO_RACE off keeps the exact hot path.  The
         # seed heap core stays selectable for A/B reference runs, and
         # REPRO_SIM_SHARDS > 1 routes to the sharded multi-timeline
-        # engine (instrumentation wins: the shadow scheduler needs one
-        # totally-ordered container).
+        # engine.  A shard-aware monitor (obs spans) rides along into
+        # the sharded engine; a shard-blind one (the race detector's
+        # shadow scheduler needs one totally-ordered container) wins
+        # over sharding and collapses to the single monitored timeline.
         if cls is Simulator:
-            if _monitor_factory is not None:
+            if _monitor_factory is not None and not (
+                _shards > 1 and _monitor_shard_aware
+            ):
                 return object.__new__(_MonitoredSimulator)
             if _shards > 1:
                 from repro.sim.shard.sharded import ShardedSimulator

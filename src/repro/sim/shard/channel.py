@@ -8,9 +8,14 @@ packing, so a worker-to-coordinator batch is a single ``bytes`` object
 built with :mod:`struct` and decoded without touching the pickle
 machinery.  Per cell::
 
-    <d H B Q 48s   ts_us  vci  flags  seq  payload     (67 bytes)
+    <d H B Q Q 48s   ts_us  vci  flags  seq  span_gid  payload  (75 bytes)
 
-``flags`` bit 0 is the AAL5 last-cell bit.  Records group cells::
+``flags`` bit 0 is the AAL5 last-cell bit.  ``span_gid`` is the obs
+distributed-tracing context: the sender's global span id
+(``repro.obs.spans.span_gid``) when span collection is armed, 0
+otherwise — the "no context" sentinel, so off-mode payloads carry a
+constant field and timestamps stay bit-identical.  Records group
+cells::
 
     <B I           record type (CELL=1 | TRAIN=2)  cell count
 
@@ -47,10 +52,12 @@ from __future__ import annotations
 import struct
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
+from repro.obs.spans import span_gid as _span_gid
 from repro.sim.shard.errors import CrossShardAccessError, ShardError
 from repro.sim.shard.plan import CutEdge
 
-_CELL = struct.Struct("<dHBQ48s")
+_CELL = struct.Struct("<dHBQQ48s")
 _REC = struct.Struct("<BI")
 _BATCH = struct.Struct("<II")
 
@@ -108,21 +115,44 @@ def stub_shard(stub: RemoteStub) -> int:
 # Codec
 # --------------------------------------------------------------------------
 
-def _pack_cell(buf: List[bytes], ts: float, cell) -> None:
+def _span_ctx() -> int:
+    """The sender's global span id, or 0 when span collection is off.
+
+    One module-attr read when off (the standard guard); the gid is what
+    lets the receiving shard's delivery chain re-parent onto the
+    sender's span after the coordinator stitches the per-shard dumps.
+    """
+    col = _obs.active
+    if col is None:
+        return 0
+    cur = col.current
+    if cur is None:
+        return 0
+    return _span_gid(col.shard, cur.sid)
+
+
+def _pack_cell(buf: List[bytes], ts: float, cell, gid: int) -> None:
     buf.append(
-        _CELL.pack(ts, cell.vci, 1 if cell.last else 0, cell.seq, cell.payload)
+        _CELL.pack(
+            ts, cell.vci, 1 if cell.last else 0, cell.seq, gid, cell.payload
+        )
     )
 
 
-def encode_cell(ts: float, cell) -> bytes:
-    """One CELL record: delivery timestamp + packed cell."""
+def encode_cell(ts: float, cell, span_id: int = 0) -> bytes:
+    """One CELL record: delivery timestamp + span context + packed cell."""
     return _REC.pack(REC_CELL, 1) + _CELL.pack(
-        ts, cell.vci, 1 if cell.last else 0, cell.seq, cell.payload
+        ts, cell.vci, 1 if cell.last else 0, cell.seq, span_id, cell.payload
     )
 
 
-def encode_train(arrivals: Sequence[float], cells: Sequence) -> bytes:
-    """One TRAIN record: the whole burst, one packed cell per member."""
+def encode_train(
+    arrivals: Sequence[float], cells: Sequence, span_id: int = 0
+) -> bytes:
+    """One TRAIN record: the whole burst, one packed cell per member.
+
+    The burst is one causal unit (one source event emitted it), so all
+    member cells carry the same span context."""
     if len(arrivals) != len(cells):
         raise ShardError(
             f"train arity mismatch: {len(arrivals)} arrivals, "
@@ -130,21 +160,22 @@ def encode_train(arrivals: Sequence[float], cells: Sequence) -> bytes:
         )
     parts = [_REC.pack(REC_TRAIN, len(cells))]
     for ts, cell in zip(arrivals, cells):
-        _pack_cell(parts, ts, cell)
+        _pack_cell(parts, ts, cell, span_id)
     return b"".join(parts)
 
 
 def decode_records(
     payload: bytes, offset: int = 0, count: Optional[int] = None
-) -> List[Tuple[int, List[Tuple[float, "Cell"]]]]:
-    """Decode records from ``payload``; returns [(rec_type, [(ts, cell)...])].
+) -> List[Tuple[int, List[Tuple[float, "Cell", int]]]]:
+    """Decode records from ``payload``; returns
+    ``[(rec_type, [(ts, cell, span_gid)...])]``.
 
     Truncated input raises :class:`ShardError` (a worker died mid-write
     or the pipe corrupted) rather than silently dropping cells.
     """
     from repro.atm.cell import Cell  # deferred: sim must not import atm at load
 
-    out: List[Tuple[int, List[Tuple[float, Cell]]]] = []
+    out: List[Tuple[int, List[Tuple[float, Cell, int]]]] = []
     end = len(payload)
     while offset < end and (count is None or len(out) < count):
         try:
@@ -154,10 +185,10 @@ def decode_records(
         offset += _REC.size
         if rec_type not in (REC_CELL, REC_TRAIN):
             raise ShardError(f"unknown channel record type {rec_type}")
-        cells: List[Tuple[float, Cell]] = []
+        cells: List[Tuple[float, Cell, int]] = []
         for _ in range(n):
             try:
-                ts, vci, flags, seq, data = _CELL.unpack_from(payload, offset)
+                ts, vci, flags, seq, gid, data = _CELL.unpack_from(payload, offset)
             except struct.error as exc:
                 raise ShardError(f"truncated channel cell: {exc}") from exc
             offset += _CELL.size
@@ -166,7 +197,7 @@ def decode_records(
             cell.payload = data
             cell.last = bool(flags & 1)
             cell.seq = seq
-            cells.append((ts, cell))
+            cells.append((ts, cell, gid))
         out.append((rec_type, cells))
     if offset != end and count is None:
         raise ShardError(
@@ -180,7 +211,7 @@ def encode_batch(edge_id: int, records: Sequence[bytes]) -> bytes:
     return _BATCH.pack(edge_id, len(records)) + b"".join(records)
 
 
-def decode_batch(blob: bytes) -> Tuple[int, List[Tuple[int, List[Tuple[float, "Cell"]]]]]:
+def decode_batch(blob: bytes) -> Tuple[int, List[Tuple[int, List[Tuple[float, "Cell", int]]]]]:
     """Inverse of :func:`encode_batch`: (edge_id, decoded records)."""
     try:
         edge_id, n = _BATCH.unpack_from(blob, 0)
@@ -287,7 +318,13 @@ class InlineChannel(Channel):
 
     def send_cell(self, ts: float, cell) -> None:
         self._check_lookahead(ts)
-        ((_, [(ts2, cell2)]),) = decode_records(encode_cell(ts, cell))
+        # Span context rides the codec even inline (the A/B exercises
+        # the field); causal parentage itself propagates through the
+        # monitored schedule below, since this runs inside the sending
+        # entry's execution.
+        ((_, [(ts2, cell2, _gid)]),) = decode_records(
+            encode_cell(ts, cell, _span_ctx())
+        )
         self.cells_sent += 1
         self._sim._schedule_cross(
             self.edge.dst_shard, ts2, self._deliver_cell, cell2
@@ -302,10 +339,12 @@ class InlineChannel(Channel):
                 f"train delivery target"
             )
         self._check_lookahead(arrivals[0])
-        ((_, pairs),) = decode_records(encode_train(arrivals, cells))
+        ((_, recs),) = decode_records(
+            encode_train(arrivals, cells, _span_ctx())
+        )
         self.trains_sent += 1
-        self.cells_sent += len(pairs)
-        train = CellTrain([c for _, c in pairs], [t for t, _ in pairs])
+        self.cells_sent += len(recs)
+        train = CellTrain([c for _, c, _ in recs], [t for t, _, _ in recs])
         self._sim._schedule_cross(
             self.edge.dst_shard,
             train.arrivals_us[0],
@@ -329,12 +368,12 @@ class BufferedChannel(Channel):
 
     def send_cell(self, ts: float, cell) -> None:
         self.cells_sent += 1
-        self._records.append(encode_cell(ts, cell))
+        self._records.append(encode_cell(ts, cell, _span_ctx()))
 
     def send_train(self, arrivals, cells) -> None:
         self.trains_sent += 1
         self.cells_sent += len(cells)
-        self._records.append(encode_train(arrivals, cells))
+        self._records.append(encode_train(arrivals, cells, _span_ctx()))
 
     @property
     def pending(self) -> int:
@@ -424,7 +463,14 @@ class InletRegistry:
         return deliver
 
     def inject(self, edge_id: int, records) -> int:
-        """Schedule decoded records; returns the number of heap entries."""
+        """Schedule decoded records; returns the number of heap entries.
+
+        When span collection is armed, each record's span context (the
+        sender's global span id) is adopted: a zero-length ``xshard``
+        placeholder span becomes the scheduling parent of the delivery
+        chain, and the coordinator's merger later re-parents the
+        placeholder onto the real remote span.
+        """
         from repro.atm.link import CellTrain
 
         try:
@@ -434,14 +480,33 @@ class InletRegistry:
                 f"no inlet registered for cut edge {edge_id}"
             ) from None
         schedule_at = self._sim.schedule_callback_at
+        _o = _obs.active
         n = 0
-        for rec_type, pairs in records:
-            if rec_type == REC_TRAIN and deliver_train is not None and len(pairs) > 1:
-                train = CellTrain([c for _, c in pairs], [t for t, _ in pairs])
-                schedule_at(train.arrivals_us[0], deliver_train, train)
+        for rec_type, recs in records:
+            if rec_type == REC_TRAIN and deliver_train is not None and len(recs) > 1:
+                train = CellTrain([c for _, c, _ in recs], [t for t, _, _ in recs])
+                t0 = train.arrivals_us[0]
+                gid = recs[0][2]
+                if _o is not None and gid:
+                    prev = _o.current
+                    ph = _o.add_complete(t0, t0, "xshard", "xshard")
+                    ph.attrs = {"xshard": gid, "edge": edge_id}
+                    _o.current = ph
+                    schedule_at(t0, deliver_train, train)
+                    _o.current = prev
+                else:
+                    schedule_at(t0, deliver_train, train)
                 n += 1
             else:
-                for ts, cell in pairs:
-                    schedule_at(ts, deliver_cell, cell)
+                for ts, cell, gid in recs:
+                    if _o is not None and gid:
+                        prev = _o.current
+                        ph = _o.add_complete(ts, ts, "xshard", "xshard")
+                        ph.attrs = {"xshard": gid, "edge": edge_id}
+                        _o.current = ph
+                        schedule_at(ts, deliver_cell, cell)
+                        _o.current = prev
+                    else:
+                        schedule_at(ts, deliver_cell, cell)
                     n += 1
         return n

@@ -40,9 +40,12 @@ import multiprocessing as mp
 import os
 import pickle
 import struct
+import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import obs as _obs
+from repro.obs import metrics as _metrics
 from repro.sim import engine as _engine
 from repro.sim.engine import Simulator
 from repro.sim.shard.channel import (
@@ -59,12 +62,16 @@ _INF = float("inf")
 _F64 = struct.Struct("<d")
 _U32 = struct.Struct("<I")
 
+# Round metrics are wall-clock by nature (they measure the *host's*
+# synchronisation cost, not simulated time).
+_wall = time.perf_counter  # simlint: disable=wall-clock
+
 # Message type bytes (worker <-> coordinator, all via send_bytes).
 _MSG_READY = 0x59   # worker: b"Y" f64 la_min, u32 n_inlets, n * u32 edge_id
 _MSG_NEXT = 0x4E    # worker: b"N" f64 next
-_MSG_DONE = 0x44    # worker: b"D" batches
-_MSG_RESULT = 0x52  # worker: b"R" pickled result  (cold path)
-_MSG_ERR = 0x45     # worker: b"E" pickled (reason, traceback)  (cold path)
+_MSG_DONE = 0x44    # worker: b"D" f64 exec_wall_s, batches, u32 obs_len, obs
+_MSG_RESULT = 0x52  # worker: b"R" pickled (result, events, obs)  (cold path)
+_MSG_ERR = 0x45     # worker: b"E" pickled (reason, tb, dump_path)  (cold path)
 _MSG_INJECT = 0x49  # parent: b"I" batches
 _MSG_GRANT = 0x47   # parent: b"G" f64 safe
 _MSG_FINISH = 0x46  # parent: b"F"
@@ -78,7 +85,9 @@ def _pack_batches(batches: Sequence[bytes]) -> bytes:
     return b"".join(parts)
 
 
-def _unpack_batches(payload: bytes, offset: int) -> List[bytes]:
+def _unpack_batches(payload: bytes, offset: int) -> tuple:
+    """Decode a batch frame; returns ``(batches, end_offset)`` so
+    callers can keep parsing trailing fields (the DONE obs blob)."""
     (n,) = _U32.unpack_from(payload, offset)
     offset += _U32.size
     out = []
@@ -87,7 +96,7 @@ def _unpack_batches(payload: bytes, offset: int) -> List[bytes]:
         offset += _U32.size
         out.append(payload[offset : offset + length])
         offset += length
-    return out
+    return out, offset
 
 
 # --------------------------------------------------------------------------
@@ -244,6 +253,22 @@ def _worker_main(
     spec: Any,
 ) -> None:
     try:
+        # Forked workers inherit the parent's armed obs state: the same
+        # collector object (now process-private) keeps accumulating, so
+        # the monitored engine and every model-layer guard keep working
+        # untouched.  Reset the per-run accumulators so only *worker*
+        # data ships back, and stamp the shard every span will carry.
+        col = _obs.active
+        span_base = 0
+        if col is not None:
+            col.shard = shard
+            col.current = None
+            col.counters.clear()
+            col.samples = []
+            span_base = len(col.spans)
+        if _metrics.active is not None:
+            _metrics.active = _metrics.MetricsRegistry()
+
         # The worker's own simulator is a plain single timeline no
         # matter what REPRO_SIM_SHARDS says in the parent environment.
         with _engine.use_shards(1):
@@ -274,33 +299,71 @@ def _worker_main(
             msg = conn.recv_bytes()
             kind = msg[0]
             if kind == _MSG_INJECT:
-                for blob in _unpack_batches(msg, 1):
+                blobs, _ = _unpack_batches(msg, 1)
+                for blob in blobs:
                     edge_id, records = decode_batch(blob)
                     registry.inject(edge_id, records)
                 conn.send_bytes(bytes([_MSG_NEXT]) + _F64.pack(sim.peek()))
             elif kind == _MSG_GRANT:
                 (safe,) = _F64.unpack_from(msg, 1)
+                t0_wall = _wall()
                 sim.run(until=None if safe == _INF else safe)
+                exec_wall = _wall() - t0_wall
                 batches = []
                 for ch in outlets:
                     blob = ch.take()
                     if blob is not None:
                         batches.append(blob)
-                conn.send_bytes(bytes([_MSG_DONE]) + _pack_batches(batches))
+                done = bytearray([_MSG_DONE])
+                done += _F64.pack(exec_wall)
+                done += _pack_batches(batches)
+                # Ship the round's completed spans to the coordinator so
+                # the merged timeline grows at round boundaries rather
+                # than as one giant blob at FINISH.
+                if col is not None and len(col.spans) > span_base:
+                    ship = [s.to_dict() for s in col.spans[span_base:]]
+                    span_base = len(col.spans)
+                    blob = pickle.dumps(ship, protocol=4)
+                    done += _U32.pack(len(blob))
+                    done += blob
+                else:
+                    done += _U32.pack(0)
+                conn.send_bytes(bytes(done))
             elif kind == _MSG_FINISH:
                 result = {island: fin() for island, fin in finalizers.items()}
+                obs_tail = None
+                if col is not None:
+                    _m = _metrics.active
+                    obs_tail = {
+                        "shard": shard,
+                        "spans": [s.to_dict() for s in col.spans[span_base:]],
+                        "counters": dict(col.counters),
+                        "samples": list(col.samples),
+                        "metrics": _m.to_state() if _m is not None else None,
+                    }
                 conn.send_bytes(
                     bytes([_MSG_RESULT])
-                    + pickle.dumps((result, sim.events_processed), protocol=4)
+                    + pickle.dumps(
+                        (result, sim.events_processed, obs_tail), protocol=4
+                    )
                 )
                 return
             else:  # pragma: no cover - protocol bug
                 raise ShardError(f"worker got unknown message {kind:#x}")
     except BaseException as exc:  # surface, don't hang the coordinator
+        # Post-mortem: dump the flight-recorder ring (when armed) so the
+        # coordinator can hand the user a Perfetto trace of the last
+        # spans this shard executed before dying.
+        dump_path = ""
+        col = _obs.active
+        if col is not None and col.flight is not None:
+            dump_path = col.flight.dump_on_trip(repr(exc), shard=shard)
         try:
             conn.send_bytes(
                 bytes([_MSG_ERR])
-                + pickle.dumps((repr(exc), traceback.format_exc()), protocol=4)
+                + pickle.dumps(
+                    (repr(exc), traceback.format_exc(), dump_path), protocol=4
+                )
             )
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
@@ -351,8 +414,12 @@ def _recv(handle: _WorkerHandle, timeout_s: float) -> bytes:
 def _expect(handle: _WorkerHandle, kind: int, timeout_s: float) -> bytes:
     msg = _recv(handle, timeout_s)
     if msg[0] == _MSG_ERR:
-        reason, tb = pickle.loads(msg[1:])
-        raise ShardCrashError(handle.shard, reason, remote_traceback=tb)
+        payload = pickle.loads(msg[1:])
+        reason, tb = payload[0], payload[1]
+        dump_path = payload[2] if len(payload) > 2 else ""
+        raise ShardCrashError(
+            handle.shard, reason, remote_traceback=tb, dump_path=dump_path
+        )
     if msg[0] != kind:
         raise ShardCrashError(
             handle.shard,
@@ -438,10 +505,32 @@ def run_partitioned(
                     )
                 edge_owner[eid] = h.shard
 
+        # Cross-shard trace stitching: when obs is armed in the parent,
+        # workers ship their spans at round boundaries and the merger
+        # rebases them into the parent collector as they land.
+        col = _obs.active
+        merger = _obs.SpanMerger(col) if col is not None else None
+
+        # Coordinator round metrics (always on: a handful of floats per
+        # round).  ``stall_s[w]`` is barrier time — how long shard w's
+        # round lasted beyond its own execution, i.e. waiting for the
+        # slowest sibling plus pipe/coordinator overhead.
+        safe_widths: List[float] = []
+        null_grants = [0] * n_shards
+        null_injects = [0] * n_shards
+        exec_wall_s = [0.0] * n_shards
+        stall_s = [0.0] * n_shards
+        grant_wait_s = 0.0
+        batches_routed = 0
+        loop_t0 = _wall()
+
         rounds = 0
         while True:
             # Phase A: inject in-flight batches, collect true nexts.
+            phase_a_t0 = _wall()
             for h in handles:
+                if not h.pending:
+                    null_injects[h.shard] += 1
                 h.pending.sort(key=lambda blob: _U32.unpack_from(blob, 0)[0])
                 h.conn.send_bytes(
                     bytes([_MSG_INJECT]) + _pack_batches(h.pending)
@@ -450,12 +539,14 @@ def run_partitioned(
             for h in handles:
                 msg = _expect(h, _MSG_NEXT, timeout_s)
                 (h.next,) = _F64.unpack_from(msg, 1)
+            grant_wait_s += _wall() - phase_a_t0
 
             safe = min(
                 (h.next + h.la for h in handles), default=_INF
             )
             if all(h.next == _INF for h in handles):
                 break
+            window_start = min(h.next for h in handles)
             if safe != _INF:
                 # ``next + la`` and the sender's own timestamp arithmetic
                 # round differently, so an emission can undershoot ``safe``
@@ -465,15 +556,24 @@ def run_partitioned(
                 # Window placement only affects batching, never event
                 # timestamps, so this cannot perturb results.
                 margin = max(1e-9, abs(safe) * 1e-12)
-                safe = max(safe - margin, min(h.next for h in handles))
+                safe = max(safe - margin, window_start)
+                safe_widths.append(safe - window_start)
 
             # Phase B: grant the window, collect produced batches.
             rounds += 1
+            round_t0 = _wall()
+            round_exec = [0.0] * n_shards
             for h in handles:
+                if h.next > safe:
+                    null_grants[h.shard] += 1
                 h.conn.send_bytes(bytes([_MSG_GRANT]) + _F64.pack(safe))
             for h in handles:
                 msg = _expect(h, _MSG_DONE, timeout_s)
-                for blob in _unpack_batches(msg, 1):
+                (worker_exec,) = _F64.unpack_from(msg, 1)
+                round_exec[h.shard] = worker_exec
+                exec_wall_s[h.shard] += worker_exec
+                blobs, off = _unpack_batches(msg, 9)
+                for blob in blobs:
                     (eid,) = _U32.unpack_from(blob, 0)
                     try:
                         dest = edge_owner[eid]
@@ -483,6 +583,16 @@ def run_partitioned(
                             f"{eid}, which no worker registered an inlet for"
                         ) from None
                     handles[dest].pending.append(blob)
+                    batches_routed += 1
+                (obs_len,) = _U32.unpack_from(msg, off)
+                if obs_len and merger is not None:
+                    merger.merge(
+                        h.shard,
+                        pickle.loads(msg[off + _U32.size : off + _U32.size + obs_len]),
+                    )
+            round_wall = _wall() - round_t0
+            for w in range(n_shards):
+                stall_s[w] += max(0.0, round_wall - round_exec[w])
 
         results: Dict[int, Any] = {}
         events = 0
@@ -490,17 +600,62 @@ def run_partitioned(
             h.conn.send_bytes(bytes([_MSG_FINISH]))
         for h in handles:
             msg = _expect(h, _MSG_RESULT, timeout_s)
-            part, worker_events = pickle.loads(msg[1:])
+            part, worker_events, obs_tail = pickle.loads(msg[1:])
             results.update(part)
             events += worker_events
+            if obs_tail is not None and col is not None:
+                merger.merge(h.shard, obs_tail["spans"])
+                col.counters.update(obs_tail["counters"])
+                col.samples.extend(
+                    tuple(s) for s in obs_tail["samples"]
+                )
+                _m = _metrics.active
+                if obs_tail["metrics"] is not None and _m is not None:
+                    _m.merge_state(obs_tail["metrics"])
+        loop_wall = _wall() - loop_t0
+        unresolved = merger.link() if merger is not None else 0
         for h in handles:
             h.proc.join(timeout=10.0)
-        results["__coordinator__"] = {
+
+        exec_total = sum(exec_wall_s)
+        coord = {
             "rounds": rounds,
             "shards": n_shards,
             "mode": "mp",
             "events": events,
         }
+        coord["obs"] = {
+            "safe_window_us": {
+                "count": len(safe_widths),
+                "min": min(safe_widths) if safe_widths else 0.0,
+                "max": max(safe_widths) if safe_widths else 0.0,
+                "mean": (
+                    sum(safe_widths) / len(safe_widths) if safe_widths else 0.0
+                ),
+            },
+            "grant_wait_s": grant_wait_s,
+            "null_grants": null_grants,
+            "null_injects": null_injects,
+            "exec_wall_s": exec_wall_s,
+            "stall_s": stall_s,
+            "batches_routed": batches_routed,
+            "spans_merged": merger.merged if merger is not None else 0,
+            "xshard_unresolved": unresolved,
+            "efficiency": {
+                "loop_wall_s": loop_wall,
+                "exec_wall_s_total": exec_total,
+                # Fraction of the coordinator loop's worker-seconds that
+                # went into simulation; the rest is barrier stall + sync.
+                "parallel_efficiency": (
+                    exec_total / (n_shards * loop_wall) if loop_wall > 0 else 0.0
+                ),
+                "bottleneck_shard": (
+                    max(range(n_shards), key=lambda w: exec_wall_s[w])
+                    if n_shards else 0
+                ),
+            },
+        }
+        results["__coordinator__"] = coord
         return results
     finally:
         for h in handles:

@@ -18,16 +18,27 @@ class ShardCrashError(ShardError):
 
     The coordinator raises this instead of hanging: worker tracebacks
     are captured in ``remote_traceback`` and every surviving worker is
-    torn down first.
+    torn down first.  When the obs flight recorder was armed in the
+    dying worker, ``dump_path`` names the Perfetto post-mortem dump of
+    the last spans it executed ("" otherwise).
     """
 
-    def __init__(self, shard: int, reason: str, remote_traceback: str = ""):
+    def __init__(
+        self,
+        shard: int,
+        reason: str,
+        remote_traceback: str = "",
+        dump_path: str = "",
+    ):
         self.shard = shard
         self.reason = reason
         self.remote_traceback = remote_traceback
+        self.dump_path = dump_path
         detail = f"\n--- shard {shard} traceback ---\n{remote_traceback}" if (
             remote_traceback
         ) else ""
+        if dump_path:
+            detail += f"\n--- flight recorder dump: {dump_path} ---"
         super().__init__(f"shard {shard} failed: {reason}{detail}")
 
 

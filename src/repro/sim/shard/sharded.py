@@ -83,6 +83,41 @@ class _Timeline:
         ) = _engine._build_calendar_core(self, width)
 
 
+class _MonitoredTimeline:
+    """One shard's *monitored* timeline: a heap core reporting to a
+    shared obs monitor through its per-shard view.
+
+    Borrows ``_MonitoredSimulator``'s schedule methods and generated
+    step loop verbatim (they only touch ``_now`` / ``_seq`` / ``_heap``
+    / ``_timer_pool`` / ``_mon``), so span context propagates along
+    schedule→execute edges across *all* timelines of one
+    :class:`ShardedSimulator` — the shared monitor's entry ids are
+    globally monotonic, which preserves each timeline's FIFO tie-break
+    exactly.  Only constructed when a shard-aware monitor is armed; the
+    off path keeps building plain calendar :class:`_Timeline` shells.
+    """
+
+    __slots__ = ("_now", "events_processed", "_heap", "_seq",
+                 "_timer_pool", "_mon")
+
+    def __init__(self, view: Any):
+        self._now = 0.0
+        self.events_processed = 0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._timer_pool: List[Any] = []
+        self._mon = view
+
+    schedule_callback = _engine._MonitoredSimulator.schedule_callback
+    schedule_callback_at = _engine._MonitoredSimulator.schedule_callback_at
+    _schedule = _engine._MonitoredSimulator._schedule
+    _schedule_event_at = _engine._MonitoredSimulator._schedule_event_at
+    schedule_timer = _engine._MonitoredSimulator.schedule_timer
+    step = _engine._MonitoredSimulator.step
+    peek = _engine._HeapSimulator.peek
+    stats = _engine._HeapSimulator.stats
+
+
 class _ShardScope:
     """Context manager: attribute subsequent scheduling to one shard."""
 
@@ -123,12 +158,22 @@ class ShardedSimulator(Simulator):
         if n < 1:
             raise ValueError(f"need at least one shard, got {n}")
         self._now = 0.0
-        self._mon = None
         self.n_shards = n
         self._cross_messages = 0
         self._channels: List[InlineChannel] = []
         width = self.NEAR_WINDOW_US
-        timelines = [_Timeline(width) for _ in range(n)]
+        # A shard-aware monitor (obs spans) rides into the sharded
+        # engine: one shared monitor, one per-shard view per timeline.
+        factory = _engine._monitor_factory
+        if factory is not None and _engine._monitor_shard_aware:
+            mon = factory()
+            timelines: List[Any] = [
+                _MonitoredTimeline(mon.shard_view(k)) for k in range(n)
+            ]
+        else:
+            mon = None
+            timelines = [_Timeline(width) for _ in range(n)]
+        self._mon = mon
         self._timelines = timelines
         cur = [0]
         self._cur = cur
@@ -221,6 +266,8 @@ class ShardedSimulator(Simulator):
                     tl.events_processed for tl in timelines
                 ],
             }
+            if mon is not None:
+                merged["core"] = "sharded-heap-monitored"
             for key in (
                 "schedules",
                 "front_inserts",
@@ -230,7 +277,9 @@ class ShardedSimulator(Simulator):
                 "near_depth",
                 "far_depth",
             ):
-                merged[key] = sum(s[key] for s in per_shard)
+                # Monitored timelines report heap stats, which lack the
+                # calendar-only keys; missing counts read as zero.
+                merged[key] = sum(s.get(key, 0) for s in per_shard)
             return merged
 
         self.schedule_callback = schedule_callback

@@ -1,0 +1,15 @@
+"""Deliberately broken *data-path* module: one unguarded-obs-call.
+
+The ``unguarded-obs-call`` rule only applies inside the hot
+``repro.core``/``repro.atm``/... module prefixes, so this fixture lives
+under a ``repro/core/`` path (the path, not the import system, decides:
+it is never imported).  The acceptance tests lint it alongside
+``bad_example.py`` so every registered rule still reports exactly once.
+"""
+
+from repro import obs
+
+
+def bad_unguarded_bump(ring):
+    # one unguarded-obs-call violation: crashes when obs is off
+    obs.active.bump("ring.rejected")

@@ -9,6 +9,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
 FIXTURE = Path(__file__).resolve().parent / "fixtures" / "bad_example.py"
+#: unguarded-obs-call only fires in data-path module paths, so its
+#: violation lives in a fixture under a repro/core/ directory.
+FIXTURE_HOT = (
+    Path(__file__).resolve().parent
+    / "fixtures" / "repro" / "core" / "bad_obs_calls.py"
+)
 
 ALL_RULES = {
     "wall-clock",
@@ -24,6 +30,7 @@ ALL_RULES = {
     "schedule-shared-state",
     "direct-tracer-append",
     "direct-heapq",
+    "unguarded-obs-call",
 }
 
 
@@ -46,7 +53,7 @@ def test_src_tree_is_clean():
 
 
 def test_fixture_reports_every_rule_once():
-    result = run_cli(str(FIXTURE))
+    result = run_cli(str(FIXTURE), str(FIXTURE_HOT))
     assert result.returncode == 1
     lines = [line for line in result.stdout.splitlines() if line.strip()]
     assert len(lines) == len(ALL_RULES)
@@ -54,14 +61,14 @@ def test_fixture_reports_every_rule_once():
     for line in lines:
         # file:line:col: rule: message
         path, lineno, col, rule, _message = line.split(":", 4)
-        assert path.endswith("bad_example.py")
+        assert path.endswith(("bad_example.py", "bad_obs_calls.py"))
         assert int(lineno) > 0 and int(col) > 0
         seen.add(rule.strip())
     assert seen == ALL_RULES
 
 
 def test_json_output():
-    result = run_cli("--format", "json", str(FIXTURE))
+    result = run_cli("--format", "json", str(FIXTURE), str(FIXTURE_HOT))
     assert result.returncode == 1
     payload = json.loads(result.stdout)
     assert payload["count"] == len(ALL_RULES)

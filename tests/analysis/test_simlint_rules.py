@@ -32,6 +32,7 @@ def test_registry_has_all_rules():
         "schedule-shared-state",
         "direct-tracer-append",
         "direct-heapq",
+        "unguarded-obs-call",
     }
 
 
@@ -622,6 +623,80 @@ def test_direct_tracer_append_disable_comment():
     assert run_rule("direct-tracer-append", """
         def emit(tracer, record):
             tracer.records.append(record)  # simlint: disable=direct-tracer-append
+    """) == []
+
+
+# -- unguarded-obs-call ---------------------------------------------------
+
+def _lint_hot(rule_name, source):
+    """Lint a snippet as if it lived in a data-path module."""
+    return linter.lint_file(
+        "repro/core/snippet.py",
+        get_rules([rule_name]),
+        source=textwrap.dedent(source),
+    )
+
+
+def test_unguarded_obs_call_flags_span_and_metric_calls():
+    violations = _lint_hot("unguarded-obs-call", """
+        from repro import obs
+        from repro.obs import metrics
+
+        def push(ring):
+            obs.active.bump("ring.rejected")
+            metrics.active.observe("ring.depth", len(ring))
+    """)
+    assert len(violations) == 2
+    assert all(v.rule == "unguarded-obs-call" for v in violations)
+    assert "off-guard" in violations[0].message
+
+
+def test_unguarded_obs_call_resolves_import_aliases():
+    violations = _lint_hot("unguarded-obs-call", """
+        from repro.obs import metrics as _metrics
+
+        def pop(ring):
+            _metrics.active.count("ring.pops")
+    """)
+    assert len(violations) == 1
+
+
+def test_unguarded_obs_call_allows_the_guarded_discipline():
+    assert _lint_hot("unguarded-obs-call", """
+        from repro import obs
+        from repro.obs import metrics as _metrics
+
+        def push(ring):
+            _o = obs.active
+            if _o is not None:
+                _o.bump("ring.rejected")
+            _m = _metrics.active
+            if _m is not None:
+                _m.observe("ring.depth", len(ring))
+    """) == []
+
+
+def test_unguarded_obs_call_ignores_cold_modules():
+    source = """
+        from repro import obs
+
+        def report():
+            obs.active.bump("report.runs")
+    """
+    for path in ("snippet.py", "repro/obs/snippet.py",
+                 "repro/bench/snippet.py", "repro/analysis/snippet.py"):
+        assert linter.lint_file(
+            path, get_rules(["unguarded-obs-call"]),
+            source=textwrap.dedent(source),
+        ) == []
+
+
+def test_unguarded_obs_call_disable_comment():
+    assert _lint_hot("unguarded-obs-call", """
+        from repro import obs
+
+        def push():
+            obs.active.bump("x")  # simlint: disable=unguarded-obs-call
     """) == []
 
 

@@ -1,0 +1,273 @@
+"""Cross-shard observability: sharded span collection, merge, parity.
+
+Three layers of evidence:
+
+* **engine routing regression** — ``obs.collecting()`` under
+  ``use_shards(n > 1)`` must keep the *sharded* engine (per-shard
+  monitored timelines feeding one collector), not silently collapse to
+  the single-core monitored class and record a trace whose timeline no
+  longer matches the engine under test.  That silent drop was the old
+  behaviour; these tests pin the fix.
+* **attribution parity** — the sharded engine is bit-identical in
+  simulated time, so fig3 per-layer attribution at 2 and 4 shards must
+  equal the single-core breakdown to < 1e-6 us (the CI gate).
+* **mp span shipping** — worker processes ship their span tails at
+  round boundaries; the merged trace carries both shards' spans, and a
+  duplicate (shard, sid) raises the typed :class:`PartialTraceError`
+  rather than silently merging a torn trace.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import GID_SHIFT, PartialTraceError, SpanCollector, SpanMerger
+from repro.sim import Simulator, engine
+from repro.sim.shard import ShardContext, run_partitioned
+from repro.sim.shard.errors import ShardCrashError
+from repro.sim.shard.sharded import ShardedSimulator
+
+
+# --------------------------------------------------------------------------
+# Engine routing under obs (the pinned regression)
+# --------------------------------------------------------------------------
+
+def test_collecting_keeps_the_sharded_engine():
+    """Regression: obs + shards>1 used to collapse to the single-core
+    monitored engine, silently recording a partial/mismatched trace."""
+    with obs.collecting() as col:
+        with engine.use_shards(2):
+            sim = Simulator()
+        assert isinstance(sim, ShardedSimulator)
+        assert sim.stats()["core"] == "sharded-heap-monitored"
+        log = []
+        with sim.shard_scope(0):
+            sim.schedule_callback(1.0, lambda: log.append("a"))
+        with sim.shard_scope(1):
+            sim.schedule_callback(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b"]
+    assert col.executed_callbacks == 2
+
+
+def test_sharded_spans_carry_their_shard_tag():
+    with obs.collecting() as col:
+        with engine.use_shards(2):
+            sim = Simulator()
+
+        def emit(shard):
+            col2 = obs.active
+            col2.add_complete(sim.now, sim.now + 1.0, "work", "test")
+
+        with sim.shard_scope(0):
+            sim.schedule_callback(1.0, emit, 0)
+        with sim.shard_scope(1):
+            sim.schedule_callback(2.0, emit, 1)
+        sim.run()
+    assert [s.shard for s in col.spans] == [0, 1]
+
+
+def test_race_detector_stays_shard_blind():
+    """The race detector's monitor is not shard-aware; arming it must
+    keep the legacy collapse (one monitored timeline) rather than run
+    an engine it cannot model."""
+    from repro.sim.engine import _MonitoredSimulator
+
+    class _Mon:
+        def on_schedule(self, seq, when, target):
+            return seq
+
+        def on_execute(self, *a):
+            pass
+
+        def on_step_done(self, *a):
+            pass
+
+    engine.set_instrumentation(lambda: _Mon())
+    try:
+        with engine.use_shards(2):
+            sim = Simulator()
+        assert isinstance(sim, _MonitoredSimulator)
+    finally:
+        engine.set_instrumentation(None)
+
+
+# --------------------------------------------------------------------------
+# Attribution parity (sharded == single-core, the CI gate)
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_fig3_attribution_parity_across_shards(n_shards):
+    from repro.obs import report
+
+    base, _ = report.run_fig3(n=4, shards=1)
+    sharded, col = report.run_fig3(n=4, shards=n_shards)
+    base_layers = base["attribution"]["layers_us"]
+    sharded_layers = sharded["attribution"]["layers_us"]
+    assert set(base_layers) == set(sharded_layers)
+    for layer, us in base_layers.items():
+        assert abs(sharded_layers[layer] - us) < 1e-6, layer
+    assert (
+        abs(
+            sharded["attribution"]["mean_window_us"]
+            - base["attribution"]["mean_window_us"]
+        )
+        < 1e-6
+    )
+    # the trace genuinely spread over the shards (fig3 has fewer
+    # span-emitting components than 4 shards, so subset, not equality)
+    shards_seen = {s.shard for s in col.spans}
+    assert len(shards_seen) >= 2
+    assert shards_seen <= set(range(n_shards))
+
+
+def test_fig3_report_has_percentiles_section():
+    from repro.obs import report
+
+    doc, _ = report.run_fig3(n=4)
+    pct = doc["percentiles"]
+    rtt = pct["rtt_us"]
+    assert rtt["p50"] <= rtt["p99"] <= rtt["p999"]
+    assert set(pct["layers_us"]) == set(doc["attribution"]["layers_us"])
+    assert doc["tracer_records_dropped"] == 0
+    # the metrics registry rode along: exact-percentile RTT histogram
+    assert "rtt_us" in doc["metrics"]["histograms"]
+
+
+def test_report_warns_on_tracer_records_dropped():
+    from repro.obs import report as report_mod
+
+    doc, _ = report_mod.run_fig3(n=4)
+    assert "WARNING" not in report_mod.format_report(doc)
+    doc["tracer_records_dropped"] = 7
+    out = report_mod.format_report(doc)
+    assert "WARNING" in out and "7" in out
+
+
+# --------------------------------------------------------------------------
+# Span merger (mp-mode trace stitching)
+# --------------------------------------------------------------------------
+
+def _span_dicts(shard, n=2):
+    col = SpanCollector()
+    col.shard = shard
+    for i in range(n):
+        col.add_complete(float(i), float(i) + 0.5, f"s{i}", "test")
+    return [s.to_dict() for s in col.spans]
+
+
+def test_merger_rebases_spans_and_resolves_parents():
+    dest = SpanCollector()
+    merger = SpanMerger(dest)
+    src = SpanCollector()
+    src.shard = 1
+    parent = src.begin(0.0, "outer", "test")
+    child = src.begin(1.0, "inner", "test")
+    src.end(child, 2.0)
+    src.end(parent, 3.0)
+    merger.merge(1, [s.to_dict() for s in src.spans])
+    assert merger.link() == 0
+    by_name = {s.name: s for s in dest.spans}
+    assert by_name["inner"].parent is by_name["outer"]
+    assert by_name["inner"].shard == 1
+
+
+def test_merger_duplicate_span_raises_partial_trace_error():
+    dest = SpanCollector()
+    merger = SpanMerger(dest)
+    spans = _span_dicts(shard=1)
+    merger.merge(1, spans)
+    with pytest.raises(PartialTraceError):
+        merger.merge(1, spans)
+
+
+# --------------------------------------------------------------------------
+# mp-mode span shipping through the coordinator
+# --------------------------------------------------------------------------
+
+def _span_emitting_builder(ctx: ShardContext, island: int, spec):
+    sim = ctx.sim
+
+    def emit():
+        col = obs.active
+        if col is not None:
+            col.add_complete(sim.now, sim.now + 1.0, f"island{island}", "test")
+
+    sim.schedule_callback(1.0 + island, emit)
+
+    def finalize():
+        return {island: sim.events_processed}
+
+    return finalize
+
+
+def test_mp_run_ships_spans_from_every_shard():
+    with obs.collecting() as col:
+        results = run_partitioned(
+            _span_emitting_builder, 2, 2, mode="mp", timeout_s=60.0
+        )
+    emitted = [s for s in col.spans if s.name.startswith("island")]
+    assert {s.shard for s in emitted} == {0, 1}
+    coord = results["__coordinator__"]["obs"]
+    assert coord["spans_merged"] >= 2
+    assert coord["xshard_unresolved"] == 0
+    assert coord["efficiency"]["parallel_efficiency"] >= 0.0
+    assert len(coord["exec_wall_s"]) == 2
+
+
+def _span_then_crash_builder(ctx: ShardContext, island: int, spec):
+    sim = ctx.sim
+
+    def work():
+        col = obs.active
+        if col is not None:
+            col.add_complete(sim.now, sim.now + 1.0, "doomed", "test")
+        if island == 1:
+            raise RuntimeError("mid-run kaboom")
+
+    sim.schedule_callback(5.0, work)
+
+    def finalize():
+        return {}
+
+    return finalize
+
+
+def test_shard_crash_carries_flight_recorder_dump(tmp_path):
+    """Satellite: a crashing worker dumps its flight ring and the typed
+    error carries the dump path; the dump replays as valid Perfetto."""
+    with obs.collecting(flight=64):
+        with pytest.raises(ShardCrashError) as info:
+            run_partitioned(
+                _span_then_crash_builder, 2, 2, mode="mp", timeout_s=60.0
+            )
+    err = info.value
+    assert err.shard == 1
+    assert err.dump_path, "crash must carry the flight dump path"
+    assert err.dump_path in str(err)
+    assert os.path.exists(err.dump_path)
+    doc = json.loads(open(err.dump_path).read())
+    assert "traceEvents" in doc
+    names = {e.get("name") for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert "doomed" in names
+    os.unlink(err.dump_path)
+
+
+def test_crash_without_flight_recorder_has_empty_dump_path():
+    with obs.collecting():  # no flight ring armed
+        with pytest.raises(ShardCrashError) as info:
+            run_partitioned(
+                _span_then_crash_builder, 2, 2, mode="mp", timeout_s=60.0
+            )
+    assert info.value.dump_path == ""
+
+
+def test_span_gid_packs_shard_and_sid():
+    from repro.obs.spans import span_gid
+
+    gid = span_gid(3, 12345)
+    assert gid >> GID_SHIFT == 4  # shard + 1: 0 stays the null sentinel
+    assert gid & ((1 << GID_SHIFT) - 1) == 12345
+    assert span_gid(0, 1) != 0

@@ -31,22 +31,30 @@ def _cell(vci=42, seq=7, last=True, fill=0xAB):
 def test_cell_roundtrip_is_bit_exact():
     ts = 123.456789012345  # an awkward float; must survive exactly
     cell = _cell()
-    ((rec_type, pairs),) = decode_records(encode_cell(ts, cell))
+    ((rec_type, recs),) = decode_records(encode_cell(ts, cell))
     assert rec_type == 1
-    ((ts2, cell2),) = pairs
+    ((ts2, cell2, gid),) = recs
     assert ts2.hex() == ts.hex()
     assert (cell2.vci, cell2.seq, cell2.last) == (42, 7, True)
     assert cell2.payload == cell.payload
+    assert gid == 0  # obs off: span context is the zero sentinel
+
+
+def test_cell_span_context_survives_roundtrip():
+    gid_in = (3 + 1) << 40 | 12345  # span_gid(shard=3, sid=12345)
+    ((_, recs),) = decode_records(encode_cell(1.0, _cell(), gid_in))
+    assert recs[0][2] == gid_in
 
 
 def test_train_roundtrip_preserves_every_arrival():
     cells = [_cell(seq=i, last=i == 2) for i in range(3)]
     arrivals = [10.0, 10.0 + 53 * 8 / 140.0, 10.0 + 2 * 53 * 8 / 140.0]
-    ((rec_type, pairs),) = decode_records(encode_train(arrivals, cells))
+    ((rec_type, recs),) = decode_records(encode_train(arrivals, cells))
     assert rec_type == 2
-    assert [t.hex() for t, _ in pairs] == [a.hex() for a in arrivals]
-    assert [c.seq for _, c in pairs] == [0, 1, 2]
-    assert [c.last for _, c in pairs] == [False, False, True]
+    assert [t.hex() for t, _, _ in recs] == [a.hex() for a in arrivals]
+    assert [c.seq for _, c, _ in recs] == [0, 1, 2]
+    assert [c.last for _, c, _ in recs] == [False, False, True]
+    assert [g for _, _, g in recs] == [0, 0, 0]
 
 
 def test_batch_roundtrip_and_framing():
