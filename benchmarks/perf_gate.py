@@ -51,6 +51,21 @@ PCT_KEYS = [
     "percentiles.fig3_rtt_us.p99",
     "percentiles.fig3_rtt_us.p999",
 ]
+#: Schema-gated sections backing the absolute contract floors below; a
+#: report without them predates the batching/checkpointing work and
+#: cannot be gated (exit 2, same as any other schema miss).
+CONTRACT_KEYS = [
+    "batched.speedup",
+    "batched.batched_events_per_sec",
+    "warm_suffix_replay.fork_available",
+]
+
+#: Absolute floors measured fresh each run, not baseline-relative: the
+#: batched delivery path and the checkpointed warm replay each promise
+#: a minimum speedup over their own same-run scalar/cold counterpart,
+#: so machine speed cancels out of the ratio.
+BATCHED_SPEEDUP_FLOOR = 2.0
+WARM_REPLAY_SPEEDUP_FLOOR = 5.0
 
 
 def _dig(report: dict, dotted: str):
@@ -72,7 +87,9 @@ def check_schema(report: dict, label: str, engine_only: bool):
     gates are skipped.
     """
     gated = list(RATE_KEYS) + (
-        [] if engine_only else list(WALL_KEYS) + list(PCT_KEYS)
+        []
+        if engine_only
+        else list(WALL_KEYS) + list(PCT_KEYS) + list(CONTRACT_KEYS)
     )
     missing = [k for k in gated if _dig(report, k) is None]
     warnings = []
@@ -121,6 +138,67 @@ def compare(baseline: dict, fresh: dict, tolerance: float,
                 f"{dotted} regressed: {new:.3f}s > {ceiling:.3f}s "
                 f"({tolerance:.0%} over baseline {base:.3f}s)"
             )
+    if not engine_only:
+        failures.extend(contract_checks(fresh))
+    return failures
+
+
+def contract_checks(fresh: dict) -> list[str]:
+    """Absolute floors on the fresh report (no baseline involved)."""
+    failures = []
+    if _dig(fresh, "batched.identical") is False:
+        failures.append(
+            "batched.identical: batched delivery diverged from scalar "
+            "dispatch (correctness, not a perf tolerance)"
+        )
+    speedup = _dig(fresh, "batched.speedup")
+    if speedup is not None:
+        verdict = "FAIL" if speedup < BATCHED_SPEEDUP_FLOOR else "ok"
+        print(f"{verdict:>4}  batched.speedup: {speedup}x "
+              f"(floor {BATCHED_SPEEDUP_FLOOR}x)")
+        if speedup < BATCHED_SPEEDUP_FLOOR:
+            failures.append(
+                f"batched.speedup below contract: {speedup}x < "
+                f"{BATCHED_SPEEDUP_FLOOR}x over same-run scalar dispatch"
+            )
+    warm = _dig(fresh, "warm_suffix_replay")
+    if isinstance(warm, dict) and warm.get("fork_available"):
+        if warm.get("identical") is False:
+            failures.append(
+                "warm_suffix_replay.identical: fork-cloned results "
+                "diverged from cold rebuilds (correctness)"
+            )
+        speedup = warm.get("speedup")
+        if speedup is not None:
+            verdict = "FAIL" if speedup < WARM_REPLAY_SPEEDUP_FLOOR else "ok"
+            print(f"{verdict:>4}  warm_suffix_replay.speedup: {speedup}x "
+                  f"(floor {WARM_REPLAY_SPEEDUP_FLOOR}x)")
+            if speedup < WARM_REPLAY_SPEEDUP_FLOOR:
+                failures.append(
+                    f"warm_suffix_replay.speedup below contract: "
+                    f"{speedup}x < {WARM_REPLAY_SPEEDUP_FLOOR}x over "
+                    f"same-run cold rebuilds"
+                )
+    elif isinstance(warm, dict):
+        print("  ok  warm_suffix_replay: fork unavailable here; "
+              "speedup floor skipped")
+    # The percentile section must describe a real distribution: a
+    # single-size ping-pong collapses every sample into one histogram
+    # bucket and the tail report is vacuous (the PR 10 regression).
+    pct = _dig(fresh, "percentiles.fig3_rtt_us")
+    if isinstance(pct, dict):
+        p50, p999 = pct.get("p50"), pct.get("p999")
+        count = pct.get("count", 0)
+        if p50 is not None and p999 is not None:
+            degenerate = p999 < p50 or (count >= 50 and p999 <= p50)
+            verdict = "FAIL" if degenerate else "ok"
+            print(f"{verdict:>4}  percentiles.fig3_rtt_us: p50 {p50} <= "
+                  f"p999 {p999} (n={count})")
+            if degenerate:
+                failures.append(
+                    f"percentiles.fig3_rtt_us degenerate: p999 {p999} not "
+                    f"above p50 {p50} with {count} samples"
+                )
     return failures
 
 

@@ -289,6 +289,13 @@ def _run_cost(args) -> int:
     )
     for candidate in report.candidates:
         print(candidate.format())
+    if report.batched:
+        print(
+            f"simcost: {len(report.batched)} candidate(s) already wired "
+            f"to a batch kernel (repro.sim.batch):"
+        )
+        for candidate in report.batched:
+            print(candidate.format())
     if suppressed:
         print(f"simcost: {suppressed} baselined finding(s) suppressed", file=sys.stderr)
     if findings:

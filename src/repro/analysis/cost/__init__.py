@@ -72,7 +72,8 @@ class CostReport:
 
     findings: List[Finding] = field(default_factory=list)
     functions: List[FunctionCost] = field(default_factory=list)  # ranked
-    candidates: List[Candidate] = field(default_factory=list)
+    candidates: List[Candidate] = field(default_factory=list)  # remaining
+    batched: List[Candidate] = field(default_factory=list)  # already wired
     profile: Optional[EngineProfile] = None
 
     @property
@@ -90,6 +91,7 @@ class CostReport:
                 for k, v in _rank.module_rollup(self.functions).items()
             },
             "vectorization_candidates": [c.to_dict() for c in self.candidates],
+            "batched_candidates": [c.to_dict() for c in self.batched],
         }
 
 
@@ -212,10 +214,12 @@ def analyze_program(
         return profile.factor(kinds) if profile is not None else 1.0
 
     candidates = _vectorize.find_candidates(program, hot, items_of, factor_of)
+    registered = _vectorize.registered_batch_qualnames(program)
     return CostReport(
         findings=findings,
         functions=costs,
-        candidates=candidates,
+        candidates=[c for c in candidates if c.qualname not in registered],
+        batched=[c for c in candidates if c.qualname in registered],
         profile=profile,
     )
 

@@ -15,6 +15,13 @@ ends with).
 
 These criteria are deliberately conservative: a rejected candidate is
 a missed optimisation, an accepted one must never change timelines.
+
+A candidate already wired to a batch kernel (a module-level
+``repro.sim.batch.register``/``register_rx_extend`` call --
+:func:`registered_batch_qualnames`) moves off the work-list into the
+report's ``batched`` set: the work-list only ever shows *remaining*
+opportunities, and the ``unbatched-candidate`` simlint rule guards the
+registered set against body rot.
 """
 
 from __future__ import annotations
@@ -80,6 +87,46 @@ class Candidate:
     def format(self) -> str:
         kinds = "/".join(self.kinds) or "callback"
         return f"  {self.qualname}  ({self.path}:{self.line}, {kinds}) -- {self.note}"
+
+
+#: the batch-kernel registration entry points (module-level calls).
+_BATCH_REGISTER_FNS = frozenset(
+    {
+        "repro.sim.batch.register",
+        "repro.sim.batch.register_rx_extend",
+    }
+)
+
+
+def registered_batch_qualnames(program: Program) -> Set[str]:
+    """Qualnames of callbacks already wired to a batch kernel.
+
+    Scans every indexed file for ``batch.register(Cls.method, ...)`` /
+    ``batch.register_rx_extend(Cls.method)`` calls whose callee
+    resolves through the import table to :mod:`repro.sim.batch`.  The
+    class is resolved through the same table, so both in-module
+    (``Link``) and imported (``NetworkInterface``) registration targets
+    map back to their defining module's qualname.
+    """
+    found: Set[str] = set()
+    for idx in program.indexes:
+        ctx = idx.ctx
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if ctx.qualified_name(node.func) not in _BATCH_REGISTER_FNS:
+                continue
+            target = node.args[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+            ):
+                continue
+            cls_base = ctx.imports.get(target.value.id)
+            if cls_base is None:
+                cls_base = f"{idx.module}.{target.value.id}"
+            found.add(f"{cls_base}.{target.attr}")
+    return found
 
 
 def _stored_sink_names(fn: FunctionInfo) -> Set[str]:

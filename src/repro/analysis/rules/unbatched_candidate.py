@@ -1,0 +1,126 @@
+"""unbatched-candidate: batch-registered callbacks must stay batchable.
+
+The delivery batch kernels (:mod:`repro.sim.batch`) replay N queued
+calls of a registered callback as one fused stroke and promise
+bit-identical timelines.  That proof leans on the callback body being
+straight-line -- branches mask, but loops, ``try``/``with`` blocks,
+nested functions, and comprehension allocations make the fused replay
+diverge from per-entry dispatch in ways no kernel precondition checks.
+simcost's vectorization pass picked the original candidates for exactly
+this shape; this rule keeps the registered set from silently rotting
+when a body is later edited.
+
+A justified exception carries a ``# simcost: disable`` comment inside
+the function (matching the cost analyzer's escape hatch), which is the
+author's assertion that the paired kernel still replays the new shape
+faithfully -- or the registration should be dropped instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Tuple
+
+from repro.analysis.linter import FileContext, Violation
+from repro.analysis.rules import Rule, register
+
+#: registration entry points exported by repro.sim.batch.
+_REGISTER_FNS = frozenset(
+    {
+        "repro.sim.batch.register",
+        "repro.sim.batch.register_rx_extend",
+    }
+)
+
+_SIMCOST_DISABLE_RE = re.compile(r"#\s*simcost:\s*disable")
+
+#: node class -> human label for the violation message.
+_NON_STRAIGHT_LINE = {
+    ast.For: "for loop",
+    ast.AsyncFor: "async for loop",
+    ast.While: "while loop",
+    ast.Try: "try block",
+    ast.With: "with block",
+    ast.AsyncWith: "async with block",
+    ast.FunctionDef: "nested def",
+    ast.AsyncFunctionDef: "nested def",
+    ast.Lambda: "lambda",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+
+def _registered_methods(ctx: FileContext) -> Dict[Tuple[str, str], ast.Call]:
+    """(class name, method name) -> registration call, for every
+    ``batch.register*(Cls.method, ...)`` in the file."""
+    found: Dict[Tuple[str, str], ast.Call] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        if ctx.qualified_name(node.func) not in _REGISTER_FNS:
+            continue
+        target = node.args[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+        ):
+            found[(target.value.id, target.attr)] = node
+    return found
+
+
+def _method_defs(ctx: FileContext) -> Dict[Tuple[str, str], ast.FunctionDef]:
+    defs: Dict[Tuple[str, str], ast.FunctionDef] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs[(node.name, stmt.name)] = stmt
+    return defs
+
+
+def _has_simcost_disable(ctx: FileContext, fn: ast.FunctionDef) -> bool:
+    end = getattr(fn, "end_lineno", fn.lineno)
+    for line in ctx.lines[fn.lineno - 1 : end]:
+        if _SIMCOST_DISABLE_RE.search(line):
+            return True
+    return False
+
+
+@register
+class UnbatchedCandidateRule(Rule):
+    name = "unbatched-candidate"
+    description = (
+        "a callback registered with repro.sim.batch grew a "
+        "non-straight-line body (loop/try/with/nested def/comprehension) "
+        "without a '# simcost: disable' justification"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        registered = _registered_methods(ctx)
+        if not registered:
+            return
+        defs = _method_defs(ctx)
+        for cls, method in sorted(registered):
+            fn = defs.get((cls, method))
+            if fn is None:
+                continue  # defined elsewhere; out of this file's scope
+            if _has_simcost_disable(ctx, fn):
+                continue
+            for node in ast.walk(fn):
+                label = _NON_STRAIGHT_LINE.get(type(node))
+                if label is None or node is fn:
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{cls}.{method} is batch-registered but its body "
+                    f"holds a {label}; the fused kernel replay assumes a "
+                    f"straight-line callback (see repro.sim.batch) -- "
+                    f"justify with '# simcost: disable' or drop the "
+                    f"registration",
+                )
+                break  # one finding per callback is enough

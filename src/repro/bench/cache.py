@@ -6,7 +6,8 @@ deterministic, so re-running an unchanged point is pure waste.  This
 module gives :func:`repro.bench.parallel.parallel_map` a persistent
 memo keyed by *content*, not by time:
 
-``key = sha256(fn identity || canonical(params) || source digest || core)``
+``key = sha256(fn identity || canonical(params) || source digest ||
+core || shards || batch tag || checkpoint schema)``
 
 * **fn identity** -- module + qualname of the sweep-point function.
 * **canonical(params)** -- a stable rendering of the point's arguments
@@ -152,7 +153,8 @@ def _fn_source_digest(fn: Callable) -> str:
 
 
 def cache_key(fn: Callable, item: Any) -> str:
-    from repro.sim import engine
+    from repro.bench import checkpoint
+    from repro.sim import batch, engine
 
     h = hashlib.sha256()
     h.update(f"{fn.__module__}.{fn.__qualname__}".encode())
@@ -168,6 +170,13 @@ def cache_key(fn: Callable, item: Any) -> str:
     # boundary would quietly hide the very divergence the A/B runs
     # exist to catch.
     h.update(b"\0shards=%d" % engine.shard_count())
+    # Batch mode and the numpy version it kernels against are execution
+    # configuration for the same reason, and the checkpoint schema
+    # version retires every entry written under an older snapshot
+    # layout in one stroke.
+    h.update(b"\0")
+    h.update(batch.cache_tag().encode())
+    h.update(b"\0ckpt=%d" % checkpoint.CHECKPOINT_SCHEMA)
     return h.hexdigest()
 
 

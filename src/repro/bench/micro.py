@@ -17,6 +17,7 @@ from repro.obs import metrics as _metrics
 from repro.core import SINGLE_CELL_MAX, SendDescriptor, UNetCluster, UNetSession
 from repro.core.upcall import UpcallCondition, register_upcall
 from repro.sim import Simulator, StatSeries
+from repro.sim import batch as _batch
 
 
 @dataclass
@@ -148,6 +149,158 @@ def raw_rtt(
     )
 
 
+def rtt_point_on(world, size: int, n: int = 4) -> RttResult:
+    """``n`` ping-pongs at ``size`` bytes against an existing pair.
+
+    The measurement phase of :func:`raw_rtt`, split out so checkpointed
+    sweeps can run many points against one warmed world.  Processes are
+    spawned fresh per call; the world must be quiescent (a previous
+    call's processes completed) when this is invoked.
+    """
+    sim, cluster, sa, sb, ch_a, ch_b = world
+    stats = StatSeries(name=f"rtt-{size}")
+    payload = bytes((i * 7 + 3) % 256 for i in range(size))
+
+    def pinger():
+        yield from sa.provide_receive_buffers(8)
+        if size <= SINGLE_CELL_MAX:
+            make = lambda: SendDescriptor(channel=ch_a.ident, inline=payload)
+        else:
+            offset = sa.alloc(size)
+            try:
+                yield from sa.write_segment(offset, payload)
+            except Exception:
+                sa.free(offset, size)
+                raise
+            make = lambda: SendDescriptor(
+                channel=ch_a.ident, bufs=((offset, size),)
+            )
+        for _ in range(n):
+            t0 = sim.now
+            yield from sa.send(make())
+            desc = yield from sa.recv()
+            stats.add(sim.now - t0)
+            _m = _metrics.active
+            if _m is not None:
+                _m.observe("rtt_us", sim.now - t0)
+            assert sa.peek_payload(desc) == payload
+            if not desc.is_inline:
+                yield from sa.repost_free(desc)
+
+    def ponger():
+        yield from sb.provide_receive_buffers(8)
+        for _ in range(n):
+            desc = yield from sb.recv()
+            yield from _echo_one(sb, ch_b.ident, desc)
+
+    sim.process(pinger(), name="pinger")
+    sim.process(ponger(), name="ponger")
+    sim.run(until=sim.now + 1e9)
+    if len(stats) != n:
+        raise RuntimeError(
+            f"ping-pong stalled: only {len(stats)}/{n} round trips completed"
+        )
+    return RttResult(
+        size=size, mean_us=stats.mean, min_us=stats.minimum,
+        samples=stats.samples,
+    )
+
+
+def warm_rtt_world(
+    warmup: int = 200,
+    size: int = 32,
+    ni_kind: str = "sba200",
+    mhz: float = 60.0,
+):
+    """Build a session pair and run ``warmup`` ping-pongs on it.
+
+    The returned world is the shared warmup prefix for a checkpointed
+    fig3-style sweep: every point forks a copy-on-write clone and runs
+    its own short measurement via :func:`rtt_point_on`.
+    """
+    world = _build_pair(ni_kind, mhz, True)
+    if warmup:
+        rtt_point_on(world, size, n=warmup)
+    return world
+
+
+def mixed_rtt(
+    n: int = 200,
+    sizes=(0, 16, 32, 48, 128, 256, 512, 1024),
+    jitter_us=(0.0, 11.0),
+    seed: int = 7,
+    ni_kind: str = "sba200",
+    mhz: float = 60.0,
+) -> RttResult:
+    """Mixed-size, jittered-arrival fig3 variant for tail statistics.
+
+    :func:`raw_rtt` pings one size back to back, so every sample lands
+    in the same histogram bucket and the reported percentiles
+    degenerate to p50 == p99 == p999 — a tail report with no tail.
+    This variant cycles through the fig3 size classes (single-cell
+    through 22-cell) with a seeded random think time between pings, so
+    the ``rtt_us`` distribution genuinely spreads and p999 > p50 is a
+    meaningful model property the perf gate can assert.
+    """
+    import random
+
+    rng = random.Random(seed)
+    order = [sizes[i % len(sizes)] for i in range(n)]
+    gaps = [rng.uniform(*jitter_us) for _ in range(n)]
+    sim, cluster, sa, sb, ch_a, ch_b = _build_pair(ni_kind, mhz, True)
+    stats = StatSeries(name="rtt-mixed")
+    payloads = {s: bytes((i * 7 + 3) % 256 for i in range(s)) for s in sizes}
+
+    def pinger():
+        yield from sa.provide_receive_buffers(8)
+        offsets = {}
+        for s in sorted({x for x in order if x > SINGLE_CELL_MAX}):
+            offset = sa.alloc(s)
+            try:
+                yield from sa.write_segment(offset, payloads[s])
+            except Exception:
+                sa.free(offset, s)
+                raise
+            offsets[s] = offset
+        for i, s in enumerate(order):
+            if gaps[i]:
+                yield sim.timeout(gaps[i])
+            t0 = sim.now
+            if s <= SINGLE_CELL_MAX:
+                desc_out = SendDescriptor(channel=ch_a.ident, inline=payloads[s])
+            else:
+                desc_out = SendDescriptor(
+                    channel=ch_a.ident, bufs=((offsets[s], s),)
+                )
+            yield from sa.send(desc_out)
+            desc = yield from sa.recv()
+            stats.add(sim.now - t0)
+            _m = _metrics.active
+            if _m is not None:
+                _m.observe("rtt_us", sim.now - t0)
+            assert sa.peek_payload(desc) == payloads[s]
+            if not desc.is_inline:
+                yield from sa.repost_free(desc)
+
+    def ponger():
+        yield from sb.provide_receive_buffers(8)
+        for _ in range(n):
+            desc = yield from sb.recv()
+            yield from _echo_one(sb, ch_b.ident, desc)
+
+    sim.process(pinger(), name="pinger")
+    sim.process(ponger(), name="ponger")
+    sim.run(until=1e9)
+    if len(stats) != n:
+        raise RuntimeError(
+            f"mixed ping-pong stalled: only {len(stats)}/{n} completed"
+        )
+    return RttResult(
+        size=-1, mean_us=stats.mean, min_us=stats.minimum,
+        samples=stats.samples,
+    )
+
+
 def raw_bandwidth(
     size: int,
     n: Optional[int] = None,
@@ -162,12 +315,26 @@ def raw_bandwidth(
     receive-buffer exhaustion and the measurement reflects the pipeline
     bottleneck (i960 per-packet cost vs. wire time).
     """
+    world = _build_pair(ni_kind, mhz, True)
+    return raw_bandwidth_on(world, size, n=n, window=window)
+
+
+def raw_bandwidth_on(
+    world, size: int, n: Optional[int] = None, window: int = 32
+) -> BandwidthResult:
+    """:func:`raw_bandwidth`'s measurement phase against an existing pair.
+
+    ``world`` is the tuple :func:`_build_pair` returns.  Splitting the
+    build from the measurement lets checkpointed sweeps
+    (:mod:`repro.bench.checkpoint`) construct the cluster once and run
+    every sweep point against a fork-cloned copy.
+    """
     if size <= 0:
         raise ValueError("message size must be positive")
     if n is None:
         # Enough messages that fixed start-up costs are amortized.
         n = max(60, min(400, 200_000 // max(size, 40)))
-    sim, cluster, sa, sb, ch_a, ch_b = _build_pair(ni_kind, mhz, True)
+    sim, cluster, sa, sb, ch_a, ch_b = world
     payload = bytes((i * 13 + 5) % 256 for i in range(size))
     # Large messages span several 4160-byte receive buffers; shrink the
     # window so the outstanding data always has buffers waiting and the
@@ -228,7 +395,7 @@ def raw_bandwidth(
 
     sim.process(sender(), name="sender")
     sim.process(receiver(), name="receiver")
-    sim.run(until=1e10)
+    sim.run(until=sim.now + 1e10)
     if "t1" not in done:
         raise RuntimeError(f"bandwidth run stalled at size {size}")
     elapsed_us = done["t1"] - done["t0"]
@@ -296,3 +463,77 @@ def _one_way_wire_us(cluster: UNetCluster) -> float:
         + cell_us  # switch -> host serialization
         + out_link.propagation_us
     )
+
+
+# ------------------------------------------------- batched delivery pipeline
+class _RxCollector:
+    """Minimal NI-shaped receive sink: a cell FIFO and a drop counter.
+
+    Shaped exactly like :class:`~repro.core.ni.base.NetworkInterface`'s
+    receive side so the bulk-extend batch kernel applies; used by the
+    fig4-class pipeline benchmark where real firmware processes would
+    only obscure the delivery-path cost being measured.
+    """
+
+    __slots__ = ("input_fifo", "input_fifo_drops", "tracer", "_k_rxfifo_drop")
+
+    def __init__(self, sim, capacity: float):
+        from repro.sim import Store, Tracer
+
+        self.input_fifo = Store(sim, capacity=capacity, name="collector.rxfifo")
+        self.input_fifo_drops = 0
+        self.tracer = Tracer()
+        self._k_rxfifo_drop = "collector.rxfifo_drop"
+
+    def _rx_sink(self, cell) -> None:
+        accepted = self.input_fifo.try_put(cell)
+        if not accepted:
+            self.input_fifo_drops += 1
+            self.tracer.count(self._k_rxfifo_drop)
+
+
+def build_train_pipeline(
+    n_trains: int = 300,
+    cells_per_train: int = 12,
+    gap_us: Optional[float] = None,
+):
+    """A fig4-class delivery pipeline: tx link -> switch -> rx FIFO.
+
+    A driver callback pumps ``cells_per_train``-cell trains through a
+    2-port switch into an unbounded receive FIFO, with enough idle
+    between trains that each train's receive/forward/deliver cascade is
+    the only work in its window — the shape on which the homogeneous
+    batch kernels (train expansion, fused receives, bulk delivery) all
+    engage.  Returns ``(sim, collector)`` unrun, so callers wall-clock
+    ``sim.run()`` themselves under batching on/off.
+    """
+    from repro.atm.cell import Cell
+    from repro.atm.link import Link
+    from repro.atm.switch import Switch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    tx = Link(sim, name="pipeline.tx")
+    switch = Switch(sim, 2)
+    tx.connect(switch.input_sink(0), train_sink=switch.input_train_sink(0))
+    switch.add_route(0, 32, 1, 32)
+    collector = _RxCollector(sim, capacity=float("inf"))
+    switch.output_links[1].connect(collector._rx_sink)
+    cells = [Cell(32, bytes(48), seq=i) for i in range(cells_per_train)]
+    if gap_us is None:
+        # Past the train's full serialization span, so one train's
+        # cascade is always alone in its window.
+        gap_us = cells_per_train * tx.cell_time_us(cells[0].wire_bytes) + 60.0
+
+    def pump(i: int) -> None:
+        tx.put_train(cells)
+        if i + 1 < n_trains:
+            sim.schedule_callback(gap_us, pump, i + 1)
+
+    sim.schedule_callback(0.0, pump, 0)
+    return sim, collector
+
+
+# The collector's receive path is deliberately straight-line (see the
+# ``unbatched-candidate`` lint rule), so bulk delivery may replace it.
+_batch.register_rx_extend(_RxCollector._rx_sink)

@@ -1,0 +1,476 @@
+"""Vectorized homogeneous event-batch kernels (``REPRO_SIM_BATCH``).
+
+The calendar core pays one Python-level dispatch per schedule entry.
+The profile-guided work-list from simcost (PR 8) showed the hot tail is
+a handful of straight-line callbacks over slotted state — link
+deliveries, switch receives, NI receive-FIFO sinks.  This module lets
+those callbacks opt into *batch kernels*: when the run loop pops an
+entry whose callback has a registered kernel, the kernel may consume
+the entry — and, through the :class:`BatchApi`, any *provably
+equivalent* run of adjacent entries — in one call instead of N.
+
+The contract is strict bit-identity with scalar dispatch:
+
+* A kernel returns ``True`` only when it fully replayed the scalar
+  semantics of every entry it consumed: same model-state mutations,
+  same ``(when, seq)`` numbers for everything it scheduled, same
+  ``events_processed`` accounting (via :meth:`BatchApi.consume_seq`).
+* A kernel that returns ``False`` must not have changed *any* state;
+  the run loop falls through to the ordinary scalar call.
+* ``BatchApi.pop_if(fn)`` only ever yields the **global-minimum**
+  schedule entry, and only when it is a callback targeting exactly
+  ``fn`` — so the incremental kernels (:func:`run_fused`) are
+  bit-identical by construction: they replay pop / set-now / call in
+  exactly the order the scalar loop would have used.
+
+Batching is selectable with ``REPRO_SIM_BATCH=0|1`` (default on) and
+auto-disables whenever any observer could see individual entries:
+``REPRO_RACE`` / ``REPRO_OBS`` instrumentation (checked by the engine),
+an active obs collection or metrics recorder, or a missing numpy.
+Per-entry fallbacks cover lossy links, cut-edge proxies, and any shape
+a kernel's preconditions cannot prove.
+
+This module imports nothing from ``repro`` at module scope: the engine
+imports it while ``repro.sim`` is still initializing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Callable, Dict, Optional
+
+#: Registered batch kernels, keyed by the *underlying function object*
+#: of the callback (``bound_method.__func__``).  The run loop looks the
+#: popped callback up here; a hit hands control to the kernel.
+_KERNELS: Dict[Any, Callable] = {}
+
+#: Pure bulk-append sinks, keyed the same way: callbacks proven to do
+#: nothing but a drop-on-overflow FIFO append (no scheduling, no time
+#: reads while batching is active).  The delivery kernels use this to
+#: prove an output link's far end cannot perturb the replay.
+_EXTENDERS: Dict[Any, Callable] = {}
+
+
+class BatchApi:
+    """Engine services handed to batch kernels.
+
+    One instance per calendar core, filled with that core's closures:
+
+    * ``sim`` — the owning :class:`~repro.sim.engine.Simulator`.
+    * ``peek()`` — time of the next pending entry (``inf`` when idle).
+    * ``pop_if(fn, bound=None)`` — pop and return the next entry iff it
+      is the global minimum, a callback targeting exactly ``fn``, and
+      fires no later than ``bound`` / the active run limit; ``None``
+      otherwise.  Never touches ``sim._now``.
+    * ``consume_seq(n)`` — burn ``n`` sequence numbers standing in for
+      schedule+pop pairs the kernel replayed analytically (they count
+      as processed events, matching scalar accounting).
+    * ``set_now(t)`` — advance ``sim._now`` (replaying the pop of an
+      entry the kernel consumed).
+    * ``schedule_callback_at(when, fn, *args)`` — the core's ordinary
+      absolute-time scheduler (allocates a real sequence number).
+    * ``limit()`` — the active run bound (``run(until=...)``), ``inf``
+      for unbounded runs.  Kernels must not consume past it.
+    * ``fused(n)`` — report ``n`` dispatches fused into this kernel
+      call (surfaces as ``batch_batches`` / ``batch_fused`` in
+      ``Simulator.stats()``).
+    """
+
+    __slots__ = (
+        "sim",
+        "peek",
+        "pop_if",
+        "consume_seq",
+        "set_now",
+        "schedule_callback_at",
+        "limit",
+        "fused",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Activation.
+# ---------------------------------------------------------------------------
+
+_cfg = os.environ.get("REPRO_SIM_BATCH", "1") != "0"
+_override: Optional[bool] = None
+_np: Any = None
+_np_checked = False
+_obs_mod: Any = None
+_metrics_mod: Any = None
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when unavailable (cached)."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy is a project dep
+            numpy = None
+        _np = numpy
+    return _np
+
+
+def set_batching(on: Optional[bool]) -> None:
+    """Test/bench override: ``True``/``False`` force batching on or off
+    for subsequently started runs; ``None`` restores the
+    ``REPRO_SIM_BATCH`` environment default."""
+    global _override
+    _override = on if on is None else bool(on)
+
+
+class use_batching:
+    """Context manager form of :func:`set_batching`.
+
+    >>> with use_batching(False):
+    ...     sim.run()   # scalar dispatch
+    """
+
+    def __init__(self, on: Optional[bool]):
+        self._on = on
+        self._saved: Optional[bool] = None
+
+    def __enter__(self) -> "use_batching":
+        self._saved = _override
+        set_batching(self._on)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        global _override
+        _override = self._saved
+
+
+def enabled_config() -> bool:
+    """The configured batching switch (env default or test override),
+    ignoring runtime vetoes.  This is what cache keys record."""
+    return _cfg if _override is None else _override
+
+
+def runtime_active() -> bool:
+    """True when a run started now should use the batched loops.
+
+    Cheap enough for once-per-``run()`` evaluation (the sharded engine
+    calls it once per conservative window).  The engine adds its own
+    veto for armed REPRO_RACE / REPRO_OBS instrumentation before asking.
+    """
+    global _obs_mod, _metrics_mod
+    if not (_cfg if _override is None else _override):
+        return False
+    if not _KERNELS:
+        return False
+    if numpy_or_none() is None:
+        return False
+    if _obs_mod is None:
+        from repro import obs
+        from repro.obs import metrics
+
+        _obs_mod = obs
+        _metrics_mod = metrics
+    # An active obs collection or metrics recorder observes individual
+    # entries (spans, per-cell samples); kernels skip those, so batching
+    # must stand down for the run.
+    return _obs_mod.active is None and _metrics_mod.active is None
+
+
+def cache_tag() -> str:
+    """Batch-configuration fingerprint for ``repro.bench.cache`` keys.
+
+    Results are bit-identical by contract, but the cache key still
+    records the configured switch and the numpy version so batched and
+    unbatched (or differently-vectorized) runs can never alias — same
+    bug class as the PR 6 shard-count key fix."""
+    np = numpy_or_none()
+    return "batch={},numpy={}".format(
+        int(enabled_config()),
+        getattr(np, "__version__", "none"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registration.
+# ---------------------------------------------------------------------------
+
+
+def register(func: Callable, kernel: Callable) -> None:
+    """Register ``kernel`` as the batch kernel for callback ``func``.
+
+    ``func`` may be a plain function or an unbound class attribute
+    (``Link._deliver_cell``); bound methods are unwrapped.  The kernel
+    is called as ``kernel(api, fn, args)`` with the *bound* callback of
+    the popped entry and must honour the bit-identity contract above.
+    """
+    _KERNELS[getattr(func, "__func__", func)] = kernel
+
+
+def registered() -> Dict[Any, Callable]:
+    """Snapshot of the kernel registry (for tooling/tests)."""
+    return dict(_KERNELS)
+
+
+def rx_fifo_extend(rx: Any, cells: list) -> None:
+    """Bulk equivalent of N drop-on-overflow receive-FIFO sinks.
+
+    ``rx`` is any object with the NI receive shape: ``input_fifo`` (a
+    :class:`~repro.sim.resources.Store`), ``input_fifo_drops``,
+    ``tracer`` and ``_k_rxfifo_drop``.  Callers must have proven the
+    FIFO has no waiting getters and that no observer is active."""
+    fifo = rx.input_fifo
+    items = fifo.items
+    room = fifo.capacity - len(items)
+    k = len(cells)
+    if room >= k:
+        items.extend(cells)
+        return
+    # Scalar try_put admits while len(items) < capacity, so a fractional
+    # capacity admits ceil(room) more cells.
+    n_fit = int(math.ceil(room)) if room > 0 else 0
+    if n_fit:
+        items.extend(cells[:n_fit])
+    dropped = k - n_fit
+    rx.input_fifo_drops += dropped
+    rx.tracer.count(rx._k_rxfifo_drop, dropped)
+
+
+def register_rx_extend(func: Callable) -> None:
+    """Declare ``func`` (an ``_rx_sink``-shaped bound callback) a pure
+    drop-on-overflow FIFO sink: delivery kernels may replace N calls
+    with one :func:`rx_fifo_extend`, and directly scheduled entries get
+    the generic :func:`run_fused` kernel."""
+    f = getattr(func, "__func__", func)
+    _EXTENDERS[f] = rx_fifo_extend
+    _KERNELS[f] = run_fused
+
+
+# ---------------------------------------------------------------------------
+# Kernels.
+# ---------------------------------------------------------------------------
+
+
+def run_fused(api: BatchApi, fn: Callable, args: tuple) -> bool:
+    """Generic incremental kernel: bit-identical by construction.
+
+    Calls ``fn(*args)`` for the already-popped entry, then keeps
+    popping *only while* the global-minimum entry still targets ``fn``
+    — re-checking after every call, so anything a call schedules ahead
+    of the next entry ends the run exactly where the scalar loop would
+    have switched callbacks.  No preconditions needed; the win is
+    skipping the dispatch branch-tree and kernel lookup per entry."""
+    if args:
+        fn(*args)
+    else:
+        fn()
+    pop_if = api.pop_if
+    set_now = api.set_now
+    n = 1
+    while True:
+        e = pop_if(fn)
+        if e is None:
+            break
+        set_now(e[0])
+        a = e[4]
+        if a:
+            fn(*a)
+        else:
+            fn()
+        n += 1
+    if n > 1:
+        api.fused(n)
+    return True
+
+
+def deliver_cell_kernel(api: BatchApi, fn: Callable, args: tuple) -> bool:
+    """Kernel for ``Link._deliver_cell``: gather a run of deliveries.
+
+    When the link's sink is a registered pure FIFO extender with no
+    waiting getters, a run of back-to-back delivery entries collapses
+    into one bulk append (per-cell drop accounting preserved).  Any
+    other sink falls back to the generic incremental run, which is
+    always safe."""
+    link = fn.__self__
+    sink = link._sink
+    if sink is not None:
+        ext = _EXTENDERS.get(getattr(sink, "__func__", None))
+        if ext is not None:
+            rx = sink.__self__
+            if not rx.input_fifo._getters:
+                e = api.pop_if(fn)
+                if e is None:
+                    sink(args[0])
+                    return True
+                cells = [args[0], e[4][0]]
+                last = e[0]
+                while True:
+                    e = api.pop_if(fn)
+                    if e is None:
+                        break
+                    cells.append(e[4][0])
+                    last = e[0]
+                ext(rx, cells)
+                api.set_now(last)
+                api.fused(len(cells))
+                return True
+    return run_fused(api, fn, args)
+
+
+def deliver_train_kernel(api: BatchApi, fn: Callable, args: tuple) -> bool:
+    """Kernel for ``Link._deliver_train``: expand a whole cell train
+    through the switch analytically.
+
+    The scalar cascade for an N-cell train is 2N-1 dispatches — one
+    ``_receive`` per cell and one ``_forward`` per cell (the first
+    receive rides the train entry) — plus N delivery entries on the
+    output link.  When the preconditions below hold, the timestamps,
+    sequence numbers and model-state deltas of the whole cascade are
+    computable in closed form (numpy for long serialization chains), so
+    the kernel replays it in one call.  If the queue is also quiet
+    until the last delivery time, even the delivery entries are
+    absorbed into one bulk FIFO append; otherwise they are scheduled
+    as real entries with their exact scalar sequence numbers.
+
+    Preconditions (any failure falls back, still bit-identical):
+
+    * the train sink is a switch input (``__batch_switch__`` marker)
+      and every cell routes through one (port, VCI) entry;
+    * the output link is clean: no cut, no loss function, fast path,
+      and its sink a registered pure FIFO extender with no getters —
+      so in-window delivery pops cannot schedule or observe anything;
+    * nothing else is pending inside the expansion window
+      (``peek() > wend`` strictly, ``wend`` within the run limit);
+    * the output queue provably cannot overflow (conservative, no
+      pruning: ``len(starts) + N - 1 < capacity``).
+    """
+    link = fn.__self__
+    target = getattr(link._train_sink, "__batch_switch__", None)
+    if target is None:
+        return run_fused(api, fn, args)
+    train = args[0]
+    cells = train.cells
+    n = len(cells)
+    if n < 2:
+        return run_fused(api, fn, args)
+    switch, port = target
+    vci = cells[0].vci
+    wb = cells[0].wire_bytes
+    for c in cells:
+        if c.vci != vci or c.wire_bytes != wb:
+            return run_fused(api, fn, args)
+    route = switch._routes.get((port, vci))
+    if route is None:
+        return run_fused(api, fn, args)
+    out = switch.output_links[route.out_port]
+    sink = out._sink
+    if (
+        out._cut is not None
+        or out.loss_fn is not None
+        or not out.fast_path
+        or sink is None
+    ):
+        return run_fused(api, fn, args)
+    ext = _EXTENDERS.get(getattr(sink, "__func__", None))
+    if ext is None:
+        return run_fused(api, fn, args)
+    if sink.__self__.input_fifo._getters:
+        return run_fused(api, fn, args)
+    arrivals = train.arrivals_us
+    lat = switch.switching_latency_us
+    f = [a + lat for a in arrivals]  # per-cell _forward times
+    wend = f[-1]
+    limit = api.limit()
+    pk = api.peek()
+    if wend > limit or not (pk > wend):
+        return run_fused(api, fn, args)
+    starts = out._starts
+    if len(starts) + n - 1 >= out.capacity:
+        return run_fused(api, fn, args)
+
+    # Serialization claims.  The common case is busy-dominated (each
+    # finish at or past the next forward time): one accumulate over a
+    # preallocated array reproduces the scalar add chain bit-for-bit
+    # (float64 adds, strictly left to right in both).  Short trains use
+    # the exact scalar _claim replay directly — numpy's per-call
+    # overhead swamps a dozen adds.  Either way the drained-queue case
+    # (some forward time past the accumulated finish) replays _claim.
+    ct = out.cell_time_us(wb)
+    busy = out._busy_until
+    S = F = None
+    if n >= 32:
+        np = numpy_or_none()
+        vals = np.empty(n + 1)
+        vals[0] = busy if busy >= f[0] else f[0]
+        vals[1:] = ct
+        np.add.accumulate(vals, out=vals)
+        if bool((vals[1:-1] >= np.asarray(f[1:])).all()):
+            S = vals[:-1].tolist()
+            F = vals[1:].tolist()
+    if S is None:
+        S = []
+        F = []
+        for t in f:
+            start = busy
+            if start < t:
+                start = t
+            busy = start + ct
+            S.append(start)
+            F.append(busy)
+
+    out_vci = route.out_vci
+    prop = out.propagation_us
+    dlast = F[-1] + prop  # the cascade's last event: cell N-1 delivered
+    if dlast <= limit and pk > dlast:
+        # Nothing foreign fires before the last delivery, and the
+        # output sink is a proven pure FIFO extender — so the delivery
+        # pops commute into one bulk append and never need to exist as
+        # schedule entries.  All 3N-1 sequence numbers the cascade
+        # would allocate (first forward + N-1 deferred receives, N-1
+        # mid-window forwards, N deliveries) are burned in one stroke;
+        # with no surviving entries their interleaving is unobservable.
+        api.consume_seq(3 * n - 1)
+        ext(sink.__self__, [c.with_vci(out_vci) for c in cells])
+        api.set_now(dlast)
+        fused = 3 * n - 1
+    else:
+        # A foreign entry lands between wend and the last delivery (or
+        # the run limit does): the deliveries must exist as real
+        # schedule entries with exactly the sequence numbers the scalar
+        # cascade would give them.  _receive_train allocates the first
+        # forward plus N-1 deferred receives up front; then receives
+        # and forwards pop in (when, seq) order.  A forward ties with a
+        # receive only at equal times, and wins only as forward 0 (its
+        # seq predates every deferred receive; later forwards are
+        # scheduled mid-window and postdate them all).  Each receive
+        # burns the seq of the forward it schedules; each forward
+        # schedules its real delivery entry.
+        api.consume_seq(n)
+        schedule_at = api.schedule_callback_at
+        deliver = out._deliver_cell
+        i = 1  # next deferred receive
+        j = 0  # next pending forward (pending iff j < i)
+        while j < n:
+            if j < i and (
+                i >= n or f[j] < arrivals[i] or (f[j] == arrivals[i] and j == 0)
+            ):
+                schedule_at(F[j] + prop, deliver, cells[j].with_vci(out_vci))
+                j += 1
+            else:
+                api.consume_seq(1)
+                i += 1
+        fused = 2 * n - 1
+
+    switch.cells_switched += n
+    out.cells_sent += n
+    out.bytes_sent += wb * n
+    out._busy_until = F[-1]
+    # Final queue state: the last scalar prune (at wend) drops every
+    # start at or before wend, then the last claim appends its start
+    # unconditionally.
+    while starts and starts[0] <= wend:
+        starts.popleft()
+    for k in range(n - 1):
+        if S[k] > wend:
+            starts.append(S[k])
+    starts.append(S[n - 1])
+    api.fused(fused)
+    return True

@@ -60,6 +60,8 @@ import heapq
 import os
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim import batch as _batch
+
 #: Schedule-order instrumentation (installed by :mod:`repro.analysis.race`).
 #: ``_monitor_factory`` builds one ShadowScheduler monitor per Simulator
 #: created while armed; ``access_hook`` is called by state objects
@@ -91,6 +93,40 @@ def set_instrumentation(
     _monitor_factory = monitor_factory
     access_hook = access
     _monitor_shard_aware = shard_aware if monitor_factory is not None else False
+
+
+def _batch_active() -> bool:
+    """Should a run starting now use the batched calendar loops?
+
+    Armed instrumentation (REPRO_RACE / REPRO_OBS monitors or the state
+    access hook) observes individual schedule entries, so it vetoes
+    batching before the :mod:`repro.sim.batch` policy is even asked."""
+    if _monitor_factory is not None or access_hook is not None:
+        return False
+    return _batch.runtime_active()
+
+
+#: Version tag of the ``snapshot()``/``restore()`` blob layout.  Bumped
+#: whenever the entry encoding or the dict shape changes; checkpoint
+#: cache keys incorporate it so stale blobs can never be replayed.
+SNAPSHOT_SCHEMA = 1
+
+
+def _check_snapshot_schema(state: Any) -> None:
+    got = state.get("schema") if isinstance(state, dict) else None
+    if got != SNAPSHOT_SCHEMA:
+        raise SimulationError(
+            f"snapshot schema mismatch: blob says {got!r}, this engine "
+            f"speaks {SNAPSHOT_SCHEMA} (regenerate the checkpoint)"
+        )
+
+
+_SNAPSHOT_EVENT_MSG = (
+    "snapshot(): the schedule holds pending Event entries (processes, "
+    "timeouts, store handshakes); in-process checkpointing covers "
+    "callback/timer worlds only — process worlds checkpoint via "
+    "repro.bench.checkpoint's fork-based sweeps"
+)
 
 
 #: Available scheduler cores.  ``calendar`` is the v2 default; ``heap``
@@ -517,6 +553,7 @@ if x is None:
 $CB_PRE$
     a = $ARGS$
 $CLEAR_CB$
+$BATCH$
     if a:
         $CB$(*a)
     else:
@@ -557,7 +594,22 @@ def _indent(src: str, pad: str) -> str:
     return "".join(pad + ln if ln.strip() else ln for ln in src.splitlines(True))
 
 
-def _dispatch(x: str, fn: str, args: str, pool: str, pad: str) -> str:
+#: Batch hook rendered into the callback branch of the *batched* loop
+#: variants only (``{fn}`` is the site's bound-callback expression).  By
+#: this point the entry is fully popped — front cells cleared, ``a``
+#: bound — so a kernel sees a consistent scheduler and may schedule
+#: freely.  A kernel returning False has changed nothing and the scalar
+#: call below runs as usual.  The scalar loops render ``$BATCH$`` empty
+#: and stay byte-identical to the pre-batching engine.
+_BATCH_HOOK = """\
+bk = bkget(getattr({fn}, "__func__", None))
+if bk is not None and bk(bapi, {fn}, a):
+    continue
+"""
+
+
+def _dispatch(x: str, fn: str, args: str, pool: str, pad: str,
+              batch: bool = False) -> str:
     """Render the dispatch for heap-item sites: the popped tuple owns its
     payload, so no cells need clearing and the markers expand to nothing."""
     return _indent(
@@ -565,12 +617,13 @@ def _dispatch(x: str, fn: str, args: str, pool: str, pad: str) -> str:
             _DISPATCH_TEMPLATE,
             X=x, FN=fn, CB=fn, ARGS=args, POOL=pool,
             CB_PRE="", CLEAR_CB="", CLEAR_TM="", CLEAR_EV="",
+            BATCH=_indent(_BATCH_HOOK.format(fn=fn), "    ") if batch else "",
         ),
         pad,
     )
 
 
-def _dispatch_front(pad: str) -> str:
+def _dispatch_front(pad: str, batch: bool = False) -> str:
     """Render the dispatch for the decomposed front slot.
 
     Each kind clears exactly the cells its fill path stored (see the
@@ -585,6 +638,7 @@ def _dispatch_front(pad: str) -> str:
             CLEAR_CB="    f3 = None\n    f4 = None",
             CLEAR_TM="    fx = None\n    f3 = None",
             CLEAR_EV="    fx = None",
+            BATCH=_indent(_BATCH_HOOK.format(fn="fn"), "    ") if batch else "",
         ),
         pad,
     )
@@ -674,6 +728,9 @@ def _build_calendar_core(sim, width):
     promotions = 0
     pool_hits = 0
     pool_misses = 0
+    blim = INF
+    b_batches = 0
+    b_fused = 0
 
     def schedule_callback(delay, fn, *args):
         nonlocal seq, fw, fs, fx, f3, f4, far_min, pushes, spills
@@ -875,13 +932,95 @@ $RUN_ALL$
 
 $RUN_UNTIL$
 
+$RUN_ALL_B$
+
+$RUN_UNTIL_B$
+
+    def _bpop_if(fn, bound=None):
+        # Batch-kernel service: pop and return the next schedule entry
+        # iff it is the global minimum, a callback targeting exactly
+        # ``fn``, and fires no later than ``bound``/the run limit.
+        # Mirrors the main loop's pop precedence (heap beats front on
+        # ties by seq; far promotes first) so consuming kernels replay
+        # the exact scalar order.  Never touches sim._now.
+        nonlocal fw, fx, f3, f4
+        limit = blim
+        if bound is not None and bound < limit:
+            limit = bound
+        while True:
+            w = fw
+            if w >= 0.0:
+                if heap:
+                    h0 = heap[0]
+                    hw = h0[0]
+                    if hw < w or (hw == w and h0[1] < fs):
+                        if hw > limit or h0[2] is not None or h0[3] != fn:
+                            return None
+                        return pop(heap)
+                if far_min <= w:
+                    _promote()
+                    continue
+                if w > limit or fx is not None or f3 != fn:
+                    return None
+                e = (w, fs, None, f3, f4)
+                fw = -1.0
+                f3 = None
+                f4 = None
+                return e
+            if heap:
+                h0 = heap[0]
+                if h0[0] > limit or h0[2] is not None or h0[3] != fn:
+                    return None
+                return pop(heap)
+            if far_min != INF:
+                if far_min > limit:
+                    return None
+                _promote()
+                continue
+            return None
+
+    def _bconsume(n):
+        # Burned seqs stand in for schedule+pop pairs a kernel replayed
+        # analytically; the accounting identity in the loop footers
+        # counts them as processed events, matching scalar runs.
+        nonlocal seq
+        seq += n
+
+    def _bset_now(t):
+        sim._now = t
+
+    def _blimit():
+        return blim
+
+    def _bfused(n):
+        nonlocal b_batches, b_fused
+        b_batches += 1
+        b_fused += n
+
+    bapi = BatchApi()
+    bapi.sim = sim
+    bapi.pop_if = _bpop_if
+    bapi.consume_seq = _bconsume
+    bapi.set_now = _bset_now
+    bapi.limit = _blimit
+    bapi.fused = _bfused
+
     def run(until=None):
+        nonlocal blim
         if until is None:
-            _run_all()
+            if bactive():
+                blim = INF
+                _run_all_b()
+            else:
+                _run_all()
             return
         if until < sim._now:
             raise ValueError(f"until ({until}) lies in the past (now={sim._now})")
-        _run_until(until)
+        if bactive():
+            blim = until
+            _run_until_b(until)
+        else:
+            _run_until(until)
 
     def step():
         nonlocal fw, fx, f3, f4
@@ -937,14 +1076,82 @@ $DISPATCH_STEP$
             "timer_pool_hits": pool_hits,
             "timer_pool_misses": pool_misses,
             "timer_pool_size": len(pool),
+            "batch_batches": b_batches,
+            "batch_fused": b_fused,
         }
 
+    def snapshot():
+        # Entries in (when, seq) order; callbacks and timers only.  A
+        # pending Event means a process/store handshake is in flight --
+        # generator frames are not snapshot-able in-process.
+        entries = []
+        if fw >= 0.0:
+            entries.append((fw, fs, fx, f3, f4))
+        entries.extend(heap)
+        entries.extend(far)
+        entries.sort(key=lambda e: (e[0], e[1]))
+        recs = []
+        for e in entries:
+            k = e[2]
+            if k is None:
+                recs.append((e[0], e[1], 0, e[3], e[4]))
+            elif k is False:
+                recs.append((e[0], e[1], 1, e[3], None))
+            else:
+                raise SimulationError(_SNAPSHOT_EVENT_MSG)
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "core": "calendar",
+            "now": sim._now,
+            "seq": seq,
+            "events_processed": sim.events_processed,
+            "width": width,
+            "entries": recs,
+        }
+
+    def restore(state):
+        # Replaces the whole schedule; seq continues from the snapshot
+        # so the replayed suffix allocates identical (when, seq) pairs.
+        # Scheduler micro-stats (pushes/spills/promotions/pool) are NOT
+        # restored -- they are diagnostics of this core instance, not
+        # simulation state.
+        nonlocal seq, fw, fs, fx, f3, f4, far_min, horizon, width
+        _check_snapshot_schema(state)
+        heap.clear()
+        far.clear()
+        fw = -1.0
+        fs = 0
+        fx = None
+        f3 = None
+        f4 = None
+        sim._now = state["now"]
+        seq = state["seq"]
+        sim.events_processed = state["events_processed"]
+        width = state["width"]
+        horizon = sim._now + width
+        far_min = INF
+        for when, sq, kind, a, b in state["entries"]:
+            if kind == 0:
+                e = (when, sq, None, a, b)
+            else:
+                e = (when, sq, False, a, None)
+            if when < horizon:
+                push(heap, e)
+            else:
+                far.append(e)
+                if when < far_min:
+                    far_min = when
+
+    bapi.peek = peek
+    bapi.schedule_callback_at = schedule_callback_at
+
     return (schedule_callback, schedule_callback_at, _schedule,
-            _schedule_event_at, schedule_timer, run, step, peek, stats)
+            _schedule_event_at, schedule_timer, run, step, peek, stats,
+            snapshot, restore)
 '''
 
 
-def _calendar_loop(name: str, bounded: bool) -> str:
+def _calendar_loop(name: str, bounded: bool, batched: bool = False) -> str:
     if bounded:
         guard = "if {when} > until:\n    sim._now = until\n    return\n"
         subs = dict(
@@ -967,20 +1174,30 @@ def _calendar_loop(name: str, bounded: bool) -> str:
     assert len(parts) == 3, "loop template must contain two item dispatch sites"
     src = (
         parts[0]
-        + _dispatch("item[2]", "item[3]", "item[4]", "pool", " " * 24)
+        + _dispatch("item[2]", "item[3]", "item[4]", "pool", " " * 24, batched)
         + parts[1]
-        + _dispatch("item[2]", "item[3]", "item[4]", "pool", " " * 16)
+        + _dispatch("item[2]", "item[3]", "item[4]", "pool", " " * 16, batched)
         + parts[2]
     )
-    src = src.replace("$DISPATCH_FRONT$\n", _dispatch_front(" " * 16))
+    src = src.replace("$DISPATCH_FRONT$\n", _dispatch_front(" " * 16, batched))
     return src
 
 
 def _build_calendar_factory() -> Callable:
+    # The run loops are rendered twice: the scalar pair is byte-identical
+    # to the pre-batching engine (zero overhead with batching off), the
+    # ``_b`` pair adds the kernel hook at every callback dispatch.  run()
+    # picks a pair per call via the batch policy.
     src = _render(
         _CAL_FACTORY_TEMPLATE,
         RUN_ALL=_indent(_calendar_loop("_run_all", bounded=False), " " * 4),
         RUN_UNTIL=_indent(_calendar_loop("_run_until", bounded=True), " " * 4),
+        RUN_ALL_B=_indent(
+            _calendar_loop("_run_all_b", bounded=False, batched=True), " " * 4
+        ),
+        RUN_UNTIL_B=_indent(
+            _calendar_loop("_run_until_b", bounded=True, batched=True), " " * 4
+        ),
         DISPATCH_STEP=_dispatch("item[2]", "item[3]", "item[4]", "pool", " " * 8),
     )
     namespace: dict = {
@@ -988,6 +1205,12 @@ def _build_calendar_factory() -> Callable:
         "SimulationError": SimulationError,
         "push": heapq.heappush,
         "pop": heapq.heappop,
+        "bkget": _batch._KERNELS.get,
+        "bactive": _batch_active,
+        "BatchApi": _batch.BatchApi,
+        "SNAPSHOT_SCHEMA": SNAPSHOT_SCHEMA,
+        "_check_snapshot_schema": _check_snapshot_schema,
+        "_SNAPSHOT_EVENT_MSG": _SNAPSHOT_EVENT_MSG,
     }
     exec(compile(src, "<repro.sim.engine:calendar-core>", "exec"), namespace)
     return namespace["_build_calendar_core"]
@@ -1089,6 +1312,8 @@ class Simulator:
         "step",
         "peek",
         "stats",
+        "snapshot",
+        "restore",
     )
 
     #: Default near-window width (µs) separating the near heap from the
@@ -1136,12 +1361,30 @@ class Simulator:
             self.step,
             self.peek,
             self.stats,
+            self.snapshot,
+            self.restore,
         ) = _build_calendar_core(self, self.NEAR_WINDOW_US)
 
     @property
     def now(self) -> float:
         """Current simulated time in microseconds."""
         return self._now
+
+    # -- checkpointing ---------------------------------------------------
+    # ``snapshot()`` / ``restore()`` are per-core (calendar: closures
+    # assigned in __init__; heap/monitored: methods below).  Both speak
+    # the same SNAPSHOT_SCHEMA dict, so a blob restores across cores —
+    # the (when, seq) order is core-agnostic.  Pickling a simulator
+    # pickles its snapshot; the schedule's bound callbacks drag the
+    # reachable world along, so ``pickle.dumps(sim)`` checkpoints a
+    # callback/timer world in one blob.  Unpickling rebuilds the core
+    # under the *current* engine configuration (core/shards selection).
+    def __getstate__(self) -> dict:
+        return self.snapshot()
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self.restore(state)
 
     # -- conservative-synchronization accounting ------------------------
     def earliest_output_time(self, lookahead_us: float = 0.0) -> float:
@@ -1252,6 +1495,41 @@ class _HeapSimulator(Simulator):
             "near_depth": len(self._heap),
             "timer_pool_size": len(self._timer_pool),
         }
+
+    def snapshot(self) -> dict:
+        """Same blob layout as the calendar core's ``snapshot()``."""
+        recs = []
+        for e in sorted(self._heap):
+            k = e[2]
+            if k is None:
+                recs.append((e[0], e[1], 0, e[3], e[4]))
+            elif k is False:
+                recs.append((e[0], e[1], 1, e[3], None))
+            else:
+                raise SimulationError(_SNAPSHOT_EVENT_MSG)
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "core": "heap",
+            "now": self._now,
+            "seq": self._seq,
+            "events_processed": self.events_processed,
+            "width": Simulator.NEAR_WINDOW_US,
+            "entries": recs,
+        }
+
+    def restore(self, state: dict) -> None:
+        _check_snapshot_schema(state)
+        heap = []
+        for when, sq, kind, a, b in state["entries"]:
+            if kind == 0:
+                heap.append((when, sq, None, a, b))
+            else:
+                heap.append((when, sq, False, a, None))
+        heapq.heapify(heap)
+        self._heap[:] = heap
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self.events_processed = state["events_processed"]
 
 
 class _MonitoredSimulator(_HeapSimulator):

@@ -49,7 +49,7 @@ class _Timeline:
 
     ``_build_calendar_core`` only ever touches ``sim._now``,
     ``sim.events_processed`` and ``sim._heap`` on the object it is
-    handed, so a 12-slot shell is enough to own a full calendar core.
+    handed, so a 14-slot shell is enough to own a full calendar core.
     """
 
     __slots__ = (
@@ -65,6 +65,8 @@ class _Timeline:
         "step",
         "peek",
         "stats",
+        "snapshot",
+        "restore",
     )
 
     def __init__(self, width: float):
@@ -80,6 +82,8 @@ class _Timeline:
             self.step,
             self.peek,
             self.stats,
+            self.snapshot,
+            self.restore,
         ) = _engine._build_calendar_core(self, width)
 
 

@@ -73,12 +73,34 @@ class TestCandidates:
         assert candidates_of(program) == ["on_cell"]
 
     def test_real_tree_has_engine_link_ni_candidates(self):
-        # The PR's acceptance bar: after the hot-path fixes, the batch
-        # work-list covers the link/switch/NI delivery callbacks.
+        # The PR 10 acceptance bar: every batchable delivery callback
+        # is wired to a kernel, so the *remaining* work-list is empty
+        # and the link/switch/NI callbacks all report as batched.
         report = cost.analyze_paths(["src"], use_profile=False)
-        names = {c.qualname for c in report.candidates}
-        assert "repro.atm.link.Link._deliver_cell" in names
-        assert "repro.atm.link.Link._deliver_train" in names
-        assert "repro.atm.switch.Switch._receive" in names
-        assert "repro.core.ni.base.NetworkInterface._rx_sink" in names
-        assert len(names) >= 3
+        batched = {c.qualname for c in report.batched}
+        assert "repro.atm.link.Link._deliver_cell" in batched
+        assert "repro.atm.link.Link._deliver_train" in batched
+        assert "repro.atm.switch.Switch._receive" in batched
+        assert "repro.core.ni.base.NetworkInterface._rx_sink" in batched
+        assert report.candidates == []
+
+    def test_registered_candidate_moves_to_batched(self):
+        program = make_program(
+            mod="""
+            from repro.sim import batch
+
+            class Node:
+                __slots__ = ("sim", "count")
+                def start(self):
+                    self.sim.schedule_callback(0.0, self.on_cell)
+                def on_cell(self, cell):
+                    self.count += 1
+
+            batch.register(Node.on_cell, None)
+            """
+        )
+        report = cost.analyze_program(program, use_profile=False)
+        assert report.candidates == []
+        assert [c.qualname.rsplit(".", 1)[-1] for c in report.batched] == [
+            "on_cell"
+        ]

@@ -31,6 +31,7 @@ ALL_RULES = {
     "direct-tracer-append",
     "direct-heapq",
     "unguarded-obs-call",
+    "unbatched-candidate",
 }
 
 

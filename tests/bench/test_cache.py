@@ -59,6 +59,26 @@ def test_key_varies_by_fn_params_and_core(tmp_cache):
         assert cache.cache_key(_square, 3) != base
 
 
+def test_key_varies_by_batch_config(tmp_cache):
+    # Batched and scalar runs are bit-identical by contract, but their
+    # results must never alias in the cache (PR 6 shard-count bug class)
+    from repro.sim import batch
+
+    with batch.use_batching(True):
+        on = cache.cache_key(_square, 3)
+    with batch.use_batching(False):
+        off = cache.cache_key(_square, 3)
+    assert on != off
+
+
+def test_key_varies_by_checkpoint_schema(tmp_cache, monkeypatch):
+    from repro.bench import checkpoint
+
+    base = cache.cache_key(_square, 3)
+    monkeypatch.setattr(checkpoint, "CHECKPOINT_SCHEMA", 999)
+    assert cache.cache_key(_square, 3) != base
+
+
 def test_canonical_params_are_stable():
     assert cache._canonical(0.1) == (0.1).hex()
     assert cache._canonical({"b": 1, "a": 2.5}) == cache._canonical(

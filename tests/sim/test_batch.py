@@ -1,0 +1,244 @@
+"""Batched vs scalar dispatch: bit-identical timelines, engagement,
+and per-cell fallbacks.
+
+The batch kernels (:mod:`repro.sim.batch`) promise *exact* scalar
+semantics — same model-state deltas, same ``sim.now``, same
+``events_processed`` accounting — so every comparison here is full
+float precision (``float.hex``), never approximate.  Three layers:
+
+* every perturbation scenario (the shrunk fig3–fig9 + sample_sort
+  code paths) under batching on vs off;
+* the ring64 sharded workload at 1/2/4 shards;
+* the fig4-class train pipeline, both on the clean shape where the
+  kernels engage (asserted via ``batch_fused``) and on the shapes that
+  must fall back: lossy output links, finite receive FIFOs, waiting
+  getters, and randomized cross-traffic stress worlds.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import perturb
+from repro.atm.cell import Cell
+from repro.atm.link import Link
+from repro.atm.switch import Switch
+from repro.bench import shard64
+from repro.bench.micro import _RxCollector, build_train_pipeline
+from repro.sim import Simulator, batch
+
+
+def _scenario_metrics(name, batched):
+    with batch.use_batching(batched):
+        metrics = perturb._SCENARIOS[name]()
+    return perturb._canonical_metrics(metrics)
+
+
+@pytest.mark.parametrize("name", perturb.scenario_names())
+def test_scenarios_identical_batched_vs_scalar(name):
+    assert _scenario_metrics(name, False) == _scenario_metrics(name, True)
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_ring64_identical_batched_vs_scalar(n_shards):
+    spec = shard64.Ring64Spec(ring_cells=8, incast_cells=4, incast_at_us=120.0)
+    mode = "local" if n_shards == 1 else "inline"
+    with batch.use_batching(False):
+        base = shard64.run(n_shards, mode=mode, spec=spec)
+    with batch.use_batching(True):
+        result = shard64.run(n_shards, mode=mode, spec=spec)
+    assert result["islands"] == base["islands"]
+
+
+# --------------------------------------------------------------------------
+# The train pipeline: engagement and final-state identity
+# --------------------------------------------------------------------------
+
+def _pipeline_state(sim, collector, extra=()):
+    state = {
+        "now": sim.now.hex(),
+        "events": sim.events_processed,
+        "cells": [(c.vci, c.seq) for c in collector.input_fifo.items],
+        "fifo_drops": collector.input_fifo_drops,
+    }
+    for label, obj, attrs in extra:
+        for attr in attrs:
+            state[f"{label}.{attr}"] = getattr(obj, attr)
+    return state
+
+
+def _run_pipeline(batched, **kwargs):
+    with batch.use_batching(batched):
+        sim, collector = build_train_pipeline(**kwargs)
+        sim.run()
+    return sim, collector
+
+
+def test_pipeline_identical_and_kernels_engage():
+    sim_s, col_s = _run_pipeline(False, n_trains=40, cells_per_train=12)
+    sim_b, col_b = _run_pipeline(True, n_trains=40, cells_per_train=12)
+    assert _pipeline_state(sim_b, col_b) == _pipeline_state(sim_s, col_s)
+    assert sim_s.stats()["batch_fused"] == 0
+    # 12-cell trains on the quiet pipeline absorb the whole cascade
+    # (train expansion + bulk delivery), so fused >> trains.
+    assert sim_b.stats()["batch_fused"] >= 40 * 12
+
+
+def test_pipeline_identical_with_overlapping_trains():
+    # A gap smaller than the train's serialization span defeats the
+    # quiet-window precondition: kernels must fall back per entry and
+    # still match exactly.
+    kwargs = dict(n_trains=30, cells_per_train=8, gap_us=10.0)
+    sim_s, col_s = _run_pipeline(False, **kwargs)
+    sim_b, col_b = _run_pipeline(True, **kwargs)
+    assert _pipeline_state(sim_b, col_b) == _pipeline_state(sim_s, col_s)
+
+
+# --------------------------------------------------------------------------
+# Fallback shapes: lossy links, finite FIFOs, cross traffic
+# --------------------------------------------------------------------------
+
+def _lossy_world(batched, drop_every=3):
+    """Train pipeline with a deterministic loss function on the switch's
+    output link — the train-expansion kernel must refuse (the output
+    is not clean) and the per-cell path must keep exact drop counts."""
+    with batch.use_batching(batched):
+        sim = Simulator()
+        tx = Link(sim, name="lossy.tx")
+        switch = Switch(sim, 2)
+        tx.connect(switch.input_sink(0), train_sink=switch.input_train_sink(0))
+        switch.add_route(0, 32, 1, 32)
+        out = switch.output_links[1]
+        counter = {"n": 0}
+
+        def loss(cell):
+            counter["n"] += 1
+            return counter["n"] % drop_every == 0
+
+        out.loss_fn = loss
+        collector = _RxCollector(sim, capacity=float("inf"))
+        out.connect(collector._rx_sink)
+        cells = [Cell(32, bytes(48), seq=i) for i in range(10)]
+
+        def pump(i):
+            tx.put_train(cells)
+            if i + 1 < 20:
+                sim.schedule_callback(120.0, pump, i + 1)
+
+        sim.schedule_callback(0.0, pump, 0)
+        sim.run()
+    return _pipeline_state(
+        sim, collector,
+        extra=[("out", out, ("cells_sent", "cells_dropped", "bytes_sent"))],
+    )
+
+
+def test_lossy_link_fallback_identical():
+    scalar = _lossy_world(False)
+    batched = _lossy_world(True)
+    assert scalar["out.cells_dropped"] > 0
+    assert batched == scalar
+
+
+def _stress_world(seed, batched):
+    """Randomized two-source pipeline: mixed trains and singles, VCI
+    translation, finite queues and FIFOs, optional loss — every
+    fallback path plus the fast path, under one seed for both arms."""
+    rng = random.Random(seed)
+    cells_per_train = rng.randint(2, 20)
+    n_trains = rng.randint(5, 25)
+    gap = rng.choice([5.0, 40.0, 150.0])
+    fifo_capacity = rng.choice([float("inf"), 8, 64])
+    queue_cells = rng.choice([float("inf"), 16])
+    lossy = rng.random() < 0.3
+    cross_gap = rng.choice([7.0, 33.0])
+
+    with batch.use_batching(batched):
+        sim = Simulator()
+        tx = Link(sim, name="stress.tx", queue_cells=queue_cells)
+        cross = Link(sim, name="stress.cross")
+        switch = Switch(sim, 3)
+        tx.connect(switch.input_sink(0), train_sink=switch.input_train_sink(0))
+        cross.connect(
+            switch.input_sink(1), train_sink=switch.input_train_sink(1)
+        )
+        switch.add_route(0, 32, 2, 77)  # VCI translation on the hot route
+        switch.add_route(1, 40, 2, 40)
+        out = switch.output_links[2]
+        if lossy:
+            counter = {"n": 0}
+
+            def loss(cell):
+                counter["n"] += 1
+                return counter["n"] % 5 == 0
+
+            out.loss_fn = loss
+        collector = _RxCollector(sim, capacity=fifo_capacity)
+        out.connect(collector._rx_sink)
+
+        train = [Cell(32, bytes(48), seq=i) for i in range(cells_per_train)]
+
+        def pump(i):
+            tx.put_train(train)
+            if i + 1 < n_trains:
+                sim.schedule_callback(gap, pump, i + 1)
+
+        def cross_pump(i):
+            cross.send(Cell(40, bytes(48), seq=1000 + i))
+            if i + 1 < 30:
+                sim.schedule_callback(cross_gap, cross_pump, i + 1)
+
+        sim.schedule_callback(0.0, pump, 0)
+        sim.schedule_callback(1.5, cross_pump, 0)
+        sim.run()
+    return _pipeline_state(
+        sim, collector,
+        extra=[
+            ("tx", tx, ("cells_sent", "cells_dropped", "trains_sent")),
+            ("out", out, ("cells_sent", "cells_dropped", "bytes_sent")),
+            ("sw", switch, ("cells_switched", "cells_unrouted")),
+        ],
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_stress_identical(seed):
+    assert _stress_world(seed, True) == _stress_world(seed, False)
+
+
+def test_waiting_getter_disables_bulk_extend():
+    # A process blocked on the receive FIFO makes the bulk-append
+    # replacement unsound; the kernels must keep per-entry dispatch for
+    # it and deliver the identical wakeup timeline.
+    def run(batched):
+        with batch.use_batching(batched):
+            sim, collector = build_train_pipeline(
+                n_trains=6, cells_per_train=6
+            )
+            got = []
+
+            def consumer():
+                for _ in range(12):
+                    cell = yield collector.input_fifo.get()
+                    got.append((sim.now.hex(), cell.seq))
+
+            sim.process(consumer(), name="consumer")
+            sim.run()
+        return got, _pipeline_state(sim, collector)
+
+    got_s, state_s = run(False)
+    got_b, state_b = run(True)
+    assert got_b == got_s
+    assert len(got_b) == 12
+    assert state_b == state_s
+
+
+def test_batching_env_and_override_config():
+    assert batch.enabled_config() in (True, False)
+    with batch.use_batching(False):
+        assert batch.enabled_config() is False
+        assert not batch.runtime_active()
+        with batch.use_batching(True):
+            assert batch.enabled_config() is True
+    assert "batch=" in batch.cache_tag()
+    assert "numpy=" in batch.cache_tag()

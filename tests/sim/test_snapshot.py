@@ -1,0 +1,164 @@
+"""Engine snapshot/restore: round-trip identity, cross-core blobs,
+Event-entry rejection, and whole-simulator pickling.
+
+``snapshot()`` captures the schedule (callbacks and timers, in
+``(when, seq)`` order) plus ``now``/``seq``/``events_processed``;
+``restore()`` replays it so the continued run allocates identical
+``(when, seq)`` pairs.  The blob is core-agnostic and a pickled
+Simulator round-trips through it (``__getstate__``/``__setstate__``).
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError, set_core
+
+LOG = []
+
+
+def tick(tag):
+    LOG.append((Simulator is not None, tag))
+
+
+class _Chain:
+    """Self-rescheduling callback world whose timeline is fully logged."""
+
+    def __init__(self, sim, until=100.0):
+        self.sim = sim
+        self.until = until
+        self.log = []
+
+    def start(self):
+        self.sim.schedule_callback(0.0, self.fire, 0)
+        self.sim.schedule_callback(3.0, self.fire, 1000)
+        self.sim.schedule_timer(7.0, self.fire, 2000)
+
+    def fire(self, tag):
+        self.log.append((self.sim.now.hex(), tag))
+        nxt = self.sim.now + 1.0 + (tag % 3)
+        if nxt <= self.until:
+            self.sim.schedule_callback_at(nxt, self.fire, tag + 1)
+
+
+def _straight_run():
+    sim = Simulator()
+    world = _Chain(sim)
+    world.start()
+    sim.run()
+    return world.log, sim.now.hex(), sim.events_processed
+
+
+def test_mid_run_snapshot_restore_round_trip():
+    base_log, base_now, base_events = _straight_run()
+
+    sim = Simulator()
+    world = _Chain(sim)
+    world.start()
+    sim.run(until=40.0)
+    blob = sim.snapshot()
+    assert blob["now"] == 40.0
+    # The same sim keeps running after a snapshot/restore round trip
+    # and the full event timeline equals the straight run's.
+    sim.restore(blob)
+    sim.run()
+    assert world.log == base_log
+    assert sim.now.hex() == base_now
+    assert sim.events_processed == base_events
+
+
+def test_restore_into_fresh_simulator_continues_identically():
+    sim = Simulator()
+    world = _Chain(sim)
+    world.start()
+    sim.run(until=40.0)
+    prefix = list(world.log)
+    blob = sim.snapshot()
+
+    sim2 = Simulator()
+    sim2.restore(blob)
+    # The restored entries hold bound methods of the *live* world, so
+    # the world must be re-pointed at the restoring simulator before it
+    # reschedules anything (DESIGN.md §12 known-unsoundness; pickling a
+    # Simulator avoids this because the world is cloned with it).
+    world.sim = sim2
+    sim2.run()
+    base_log, base_now, base_events = _straight_run()
+    assert world.log == base_log
+    assert prefix == base_log[: len(prefix)]
+    assert sim2.now.hex() == base_now
+    assert sim2.events_processed == base_events
+
+
+@pytest.mark.parametrize("src_core,dst_core", [
+    ("calendar", "heap"), ("heap", "calendar"),
+])
+def test_snapshot_restores_across_cores(src_core, dst_core):
+    base_log, base_now, base_events = _straight_run()
+    try:
+        set_core(src_core)
+        sim = Simulator()
+        world = _Chain(sim)
+        world.start()
+        sim.run(until=40.0)
+        blob = sim.snapshot()
+        assert blob["core"] == src_core
+
+        set_core(dst_core)
+        sim2 = Simulator()
+        sim2.restore(blob)
+        world.sim = sim2
+        sim2.run()
+    finally:
+        set_core("calendar")
+    assert world.log == base_log
+    assert sim2.now.hex() == base_now
+    assert sim2.events_processed == base_events
+
+
+def test_snapshot_rejects_pending_event_entries():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    sim.process(proc(), name="p")
+    with pytest.raises(SimulationError, match="pending Event"):
+        sim.snapshot()
+
+
+def test_pickle_round_trip_resumes_identically():
+    base_log = []
+    sim = Simulator()
+    sim.schedule_callback(1.0, base_log.append, "a")  # not pickled: warm up
+
+    LOG.clear()
+    sim = Simulator()
+    for i, delay in enumerate([1.0, 2.5, 2.5, 9.0]):
+        sim.schedule_callback(delay, tick, i)
+    sim.run(until=2.0)
+    blob = pickle.dumps(sim)
+    prefix = list(LOG)
+
+    sim2 = pickle.loads(blob)
+    assert sim2.now == 2.0
+    sim2.run()
+    resumed = list(LOG)
+
+    LOG.clear()
+    ref = Simulator()
+    for i, delay in enumerate([1.0, 2.5, 2.5, 9.0]):
+        ref.schedule_callback(delay, tick, i)
+    ref.run()
+    assert resumed == LOG == prefix + LOG[len(prefix):]
+    assert sim2.now == ref.now
+    assert sim2.events_processed == ref.events_processed
+
+
+def test_restore_rejects_schema_mismatch():
+    sim = Simulator()
+    blob = sim.snapshot()
+    blob["schema"] = 999
+    with pytest.raises(SimulationError, match="schema"):
+        Simulator().restore(blob)
